@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the core building blocks.
+
+These are not paper experiments; they track the cost of the substrate itself
+(one consensus run, one detector-convergence run, multiset algebra, quorum
+safety checking) so performance regressions in the library are visible.
+"""
+
+from repro.consensus import HOmegaMajorityConsensus
+from repro.detectors import HSigmaOracle, check_hsigma
+from repro.detectors.probe import DetectorProbeProgram, hsigma_probes
+from repro.identity import IdentityMultiset
+from repro.membership import grouped_identities
+from repro.sim import AsynchronousTiming, CrashSchedule, Simulation, build_system
+from repro.sim.failures import FailurePattern
+from repro.workloads import minority_crashes
+from repro.workloads.scenarios import ConsensusScenario
+
+
+def test_single_consensus_run(benchmark):
+    """One Figure 8 consensus run on a 7-process homonymous system."""
+    membership = grouped_identities([3, 2, 2])
+
+    def run_once():
+        scenario = ConsensusScenario(
+            membership=membership,
+            consensus_factory=lambda proposal: HOmegaMajorityConsensus(
+                proposal, n=membership.size
+            ),
+            crash_schedule=minority_crashes(membership, at=8.0),
+            detector_stabilization=15.0,
+            horizon=400.0,
+            seed=3,
+        )
+        _, _, verdict = scenario.run()
+        return verdict
+
+    verdict = benchmark(run_once)
+    assert verdict.validity_ok and verdict.agreement_ok
+
+
+def test_hsigma_oracle_probe_run(benchmark):
+    """Sampling an HΣ oracle for 40 time units on a 6-process system."""
+    membership = grouped_identities([2, 2, 2])
+    schedule = CrashSchedule.at_times({membership.processes[1]: 10.0})
+
+    def run_once():
+        system = build_system(
+            membership=membership,
+            timing=AsynchronousTiming(min_latency=0.1, max_latency=1.0),
+            program_factory=lambda pid, identity: DetectorProbeProgram(
+                hsigma_probes(), period=1.0
+            ),
+            crash_schedule=schedule,
+            detectors={"HSigma": lambda s: HSigmaOracle(s, stabilization_time=15.0)},
+            seed=2,
+        )
+        simulation = Simulation(system)
+        return simulation.run(until=40.0)
+
+    trace = benchmark(run_once)
+    result = check_hsigma(trace, FailurePattern(membership, schedule))
+    assert result.ok, result.violations
+
+
+def test_multiset_algebra(benchmark):
+    """Union/intersection/inclusion over identifier multisets."""
+    left = IdentityMultiset([f"id{i % 7}" for i in range(50)])
+    right = IdentityMultiset([f"id{i % 5}" for i in range(40)])
+
+    def run_once():
+        union = left.union(right)
+        shared = left.intersection(right)
+        return shared.issubset(union) and left.difference(right).issubset(left)
+
+    assert benchmark(run_once)
+
+
+def test_sub_multiset_enumeration(benchmark):
+    """Enumerating the label family used by the Σ → HΣ transformation."""
+    universe = IdentityMultiset([f"id{i}" for i in range(8)])
+
+    def run_once():
+        return sum(1 for _ in universe.sub_multisets_containing("id0"))
+
+    assert benchmark(run_once) == 128

@@ -1,0 +1,13 @@
+"""E1 benchmark — ◇HP / HΩ convergence under partial synchrony (Figure 6)."""
+
+from repro.experiments import run_e1
+
+
+def test_e1_ohp_convergence(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e1, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["adaptive_all_converged"]
+    assert result.summary["adaptive_all_homega_ok"]
+    assert not result.summary["fixed_timeout_converged"]

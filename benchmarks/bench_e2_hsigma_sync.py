@@ -1,0 +1,11 @@
+"""E2 benchmark — HΣ in synchronous homonymous systems (Figure 7)."""
+
+from repro.experiments import run_e2
+
+
+def test_e2_hsigma_synchronous(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e2, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["all_properties_hold"]

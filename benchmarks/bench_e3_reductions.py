@@ -1,0 +1,13 @@
+"""E3 benchmark — reductions between failure-detector classes (Figure 5)."""
+
+from repro.experiments import run_e3
+
+
+def test_e3_reductions(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e3, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["all_reductions_ok"]
+    assert result.summary["corollary_1_sigma_hsigma_asigma_equivalent"]
+    assert result.summary["ap_reaches_homega_in_aas"]

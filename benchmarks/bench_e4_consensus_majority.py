@@ -1,0 +1,12 @@
+"""E4 benchmark — Figure 8 consensus in HAS[t < n/2, HΩ]."""
+
+from repro.experiments import run_e4
+
+
+def test_e4_consensus_majority(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e4, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["all_terminated"]
+    assert result.summary["all_safe"]

@@ -1,0 +1,13 @@
+"""E5 benchmark — Figure 9 consensus in HAS[HΩ, HΣ] under any number of crashes."""
+
+from repro.experiments import run_e5
+
+
+def test_e5_consensus_hsigma(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e5, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["all_terminated"]
+    assert result.summary["all_safe"]
+    assert result.summary["majority_crashed_all_terminated"]

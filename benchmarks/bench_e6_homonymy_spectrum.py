@@ -1,0 +1,12 @@
+"""E6 benchmark — consensus cost across the homonymy spectrum vs baselines."""
+
+from repro.experiments import run_e6
+
+
+def test_e6_homonymy_spectrum(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e6, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["all_terminated"]
+    assert result.summary["all_safe"]

@@ -1,0 +1,16 @@
+"""E7 benchmark — ablation of the Leaders' Coordination Phase."""
+
+from repro.experiments import run_e7
+
+
+def test_e7_coordination_ablation(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e7, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["both_variants_always_safe"]
+    assert result.summary["with_coordination_termination_rate"] == 1.0
+    assert (
+        result.summary["mean_rounds_without_coordination"]
+        > result.summary["mean_rounds_with_coordination"]
+    )

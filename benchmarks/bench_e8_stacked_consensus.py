@@ -1,0 +1,12 @@
+"""E8 benchmark — stacked system: Figure 6 HΩ implementation under Figure 8."""
+
+from repro.experiments import run_e8
+
+
+def test_e8_stacked_consensus(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_e8, kwargs={"quick": True, "seed": 0}, iterations=1, rounds=3
+    )
+    print_result(result)
+    assert result.summary["all_terminated"]
+    assert result.summary["all_safe"]

@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_eN_*`` module regenerates one experiment of EXPERIMENTS.md via
+``pytest-benchmark`` (run with ``pytest benchmarks/ --benchmark-only``).  The
+experiment tables are printed so a benchmark run doubles as a regeneration of
+the reported numbers; pass ``-s`` to see them inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def print_result():
+    """Print an ExperimentResult table and summary (visible with ``-s``)."""
+
+    def _print(result):
+        print()
+        print(result.table())
+        print(f"summary: {result.summary}")
+        return result
+
+    return _print

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Consensus that survives a majority of crashes (Figure 9: HΩ + HΣ).
+
+Figure 8 needs a majority of correct processes; Figure 9 replaces the counting
+quorums by the HΣ failure detector and tolerates any number of crashes without
+even knowing how many processes exist.  This example runs a 7-process
+homonymous system in which 4 processes — a majority — crash, and shows that
+the survivors still decide a single proposed value.
+
+Run with:  python examples/consensus_any_failures.py
+"""
+
+from __future__ import annotations
+
+from repro.consensus import HOmegaHSigmaConsensus, validate_consensus
+from repro.detectors import HOmegaOracle, HSigmaOracle
+from repro.membership import grouped_identities
+from repro.sim import AsynchronousTiming, Simulation, build_system
+from repro.sim.failures import FailurePattern
+from repro.workloads import cascading_crashes
+
+
+def main() -> None:
+    # 7 processes in three homonymy groups (3 + 2 + 2 share identifiers).
+    membership = grouped_identities([3, 2, 2], prefix="site-")
+    print("membership:", membership.describe())
+
+    # Four processes crash one after the other: a majority is gone by t=26.
+    crash_schedule = cascading_crashes(membership, 4, first_at=8.0, interval=6.0)
+    print("crashes:", {event.process.index: event.time for event in crash_schedule.events})
+
+    proposals = {process: f"proposal-{process.index}" for process in membership.processes}
+    detectors = {
+        "HOmega": lambda services: HOmegaOracle(
+            services, stabilization_time=30.0, noise_period=5.0
+        ),
+        "HSigma": lambda services: HSigmaOracle(services, stabilization_time=30.0),
+    }
+    system = build_system(
+        membership=membership,
+        timing=AsynchronousTiming(min_latency=0.1, max_latency=2.0),
+        program_factory=lambda pid, identity: HOmegaHSigmaConsensus(proposals[pid]),
+        crash_schedule=crash_schedule,
+        detectors=detectors,
+        seed=13,
+    )
+    simulation = Simulation(system)
+    trace = simulation.run(until=600.0, stop_when=lambda sim: sim.all_correct_decided())
+
+    pattern = FailurePattern(membership, crash_schedule)
+    verdict = validate_consensus(trace, pattern, proposals)
+    print(f"\ncorrect processes: {sorted(p.index for p in pattern.correct)} "
+          f"(only {len(pattern.correct)} of {membership.size} survive)")
+    print("decisions of the survivors:")
+    for process in sorted(pattern.correct):
+        decision = trace.decision_of(process)
+        print(f"  process {process.index} decided {decision.value!r} at t={decision.time:.1f}")
+    print()
+    print(f"validity    : {'ok' if verdict.validity_ok else 'VIOLATED'}")
+    print(f"agreement   : {'ok' if verdict.agreement_ok else 'VIOLATED'}")
+    print(f"termination : {'ok' if verdict.termination_ok else 'VIOLATED'}")
+    print(f"messages    : {trace.broadcast_invocations} broadcasts, "
+          f"{trace.message_copies_sent} link copies")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: consensus among homonymous processes in four short steps.
+
+1. Build a homonymous membership (five processes, two of which share the
+   identifier ``"A"`` — nobody knows the membership in advance).
+2. Pick a crash schedule (one process fails mid-run).
+3. Enrich the asynchronous system with an HΩ failure-detector oracle and run
+   the paper's Figure 8 consensus algorithm.
+4. Validate the run: validity, agreement, and termination must all hold.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.consensus import HOmegaMajorityConsensus, validate_consensus
+from repro.detectors import HOmegaOracle
+from repro.membership import Membership
+from repro.sim import AsynchronousTiming, CrashSchedule, Simulation, build_system
+from repro.sim.failures import FailurePattern
+
+
+def main() -> None:
+    # Step 1 — a homonymous membership: ids A, A, B, C, C.
+    membership = Membership.of(["A", "A", "B", "C", "C"])
+    print("membership:", membership.describe())
+    print("I(Π) =", sorted(membership.identity_multiset()))
+
+    # Step 2 — the process with the largest index crashes at time 12.
+    victim = membership.processes[-1]
+    crash_schedule = CrashSchedule.at_times({victim: 12.0})
+    print(f"crash schedule: {victim!r} crashes at t=12")
+
+    # Step 3 — every process proposes its own value and runs Figure 8,
+    # querying an HΩ oracle that stabilises at t=20.
+    proposals = {process: f"value-from-{process.index}" for process in membership.processes}
+    system = build_system(
+        membership=membership,
+        timing=AsynchronousTiming(min_latency=0.1, max_latency=2.0),
+        program_factory=lambda pid, identity: HOmegaMajorityConsensus(
+            proposals[pid], n=membership.size
+        ),
+        crash_schedule=crash_schedule,
+        detectors={
+            "HOmega": lambda services: HOmegaOracle(
+                services, stabilization_time=20.0, noise_period=5.0
+            )
+        },
+        seed=42,
+    )
+    simulation = Simulation(system)
+    trace = simulation.run(until=400.0, stop_when=lambda sim: sim.all_correct_decided())
+
+    # Step 4 — validate and report.
+    pattern = FailurePattern(membership, crash_schedule)
+    verdict = validate_consensus(trace, pattern, proposals)
+    print()
+    print("decisions:")
+    for process, decision in sorted(trace.decisions.items()):
+        identity = membership.identity_of(process)
+        print(f"  {process!r} (id {identity!r}) decided {decision.value!r} at t={decision.time:.1f}")
+    print()
+    print(f"validity    : {'ok' if verdict.validity_ok else 'VIOLATED'}")
+    print(f"agreement   : {'ok' if verdict.agreement_ok else 'VIOLATED'}")
+    print(f"termination : {'ok' if verdict.termination_ok else 'VIOLATED'}")
+    print(f"decided in  : {verdict.max_decision_round} round(s), "
+          f"last decision at t={verdict.last_decision_time:.1f}")
+
+
+if __name__ == "__main__":
+    main()

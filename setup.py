@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for environments that build without PEP 517)."""
+
+from setuptools import setup
+
+setup()

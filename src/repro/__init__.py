@@ -1,0 +1,52 @@
+"""repro — failure detectors and consensus for homonymous distributed systems.
+
+This library reproduces "Failure Detectors in Homonymous Distributed Systems
+(with an Application to Consensus)" (Arévalo, Fernández Anta, Imbs, Jiménez,
+Raynal — ICDCS 2012): the homonymous failure-detector classes ◇HP, HΩ and HΣ,
+their implementations under partial synchrony and synchrony, the reductions
+relating them to the classical and anonymous classes, and the two consensus
+algorithms built on top of them — all running over a deterministic
+discrete-event simulation of crash-prone homonymous message-passing systems.
+
+Typical entry points:
+
+* :func:`repro.membership.grouped_identities` & friends — build a homonymous
+  membership;
+* :mod:`repro.sim` — build and run a system (``build_system`` + ``Simulation``);
+* :mod:`repro.detectors` — detector oracles, views, and property checkers;
+* :mod:`repro.algorithms` — the paper's detector implementations
+  (Figures 3, 6, 7);
+* :mod:`repro.reductions` — the paper's reductions (Figures 1, 2, 4;
+  Theorems 3–4; Observation 1) and the Figure 5 relation graph;
+* :mod:`repro.consensus` — the Figure 8 and Figure 9 consensus algorithms,
+  baselines, and the validity/agreement/termination validator;
+* :mod:`repro.workloads`, :mod:`repro.analysis`, :mod:`repro.experiments` —
+  scenario generation, metrics, and the experiment harness behind
+  ``EXPERIMENTS.md`` and the benchmarks.
+"""
+
+from .identity import ANONYMOUS_IDENTITY, Identity, IdentityMultiset, ProcessId
+from .membership import (
+    Membership,
+    anonymous_identities,
+    grouped_identities,
+    identities_from_multiplicities,
+    random_identities,
+    unique_identities,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANONYMOUS_IDENTITY",
+    "Identity",
+    "IdentityMultiset",
+    "Membership",
+    "ProcessId",
+    "anonymous_identities",
+    "grouped_identities",
+    "identities_from_multiplicities",
+    "random_identities",
+    "unique_identities",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Detector-convergence analysis on recorded traces."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable
+
+from ..detectors.properties import CheckResult
+
+__all__ = ["detector_convergence_time", "convergence_statistics"]
+
+
+def detector_convergence_time(result: CheckResult) -> float | None:
+    """The convergence (stabilization) time reported by a property check.
+
+    Returns ``None`` when the check failed or the detector never settled — the
+    caller decides how to count such runs (usually as "did not converge within
+    the horizon").
+    """
+    if not result.ok:
+        return None
+    return result.stabilization_time
+
+
+def convergence_statistics(times: Iterable[float | None]) -> dict[str, float]:
+    """Aggregate a collection of convergence times.
+
+    ``None`` entries (non-converged runs) are excluded from the timing
+    statistics but reported through the ``converged_fraction`` field.
+    """
+    times = list(times)
+    converged = [time for time in times if time is not None]
+    if not times:
+        return {"runs": 0, "converged_fraction": 0.0}
+    summary: dict[str, float] = {
+        "runs": float(len(times)),
+        "converged_fraction": len(converged) / len(times),
+    }
+    if converged:
+        summary.update(
+            {
+                "mean": statistics.fmean(converged),
+                "median": statistics.median(converged),
+                "min": min(converged),
+                "max": max(converged),
+            }
+        )
+    return summary

@@ -1,0 +1,110 @@
+"""Parameter sweeps and result aggregation for the experiment harness."""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .tables import render_table
+
+__all__ = ["ParameterSweep", "ExperimentResult", "aggregate_rows"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of one experiment: raw rows, a rendered table, a summary."""
+
+    experiment: str
+    description: str
+    rows: tuple[dict, ...]
+    summary: dict = field(default_factory=dict)
+    columns: tuple[str, ...] | None = None
+
+    def table(self) -> str:
+        """Render the result rows as an ASCII table."""
+        return render_table(
+            self.rows,
+            columns=list(self.columns) if self.columns else None,
+            title=f"{self.experiment}: {self.description}",
+        )
+
+
+class ParameterSweep:
+    """Cartesian sweep over named parameter lists, with repetitions.
+
+    >>> sweep = ParameterSweep({"n": [3, 5]}, repetitions=2)
+    >>> configs = list(sweep)   # four configs, each with a distinct seed
+    """
+
+    def __init__(
+        self,
+        parameters: Mapping[str, Sequence[Any]],
+        *,
+        repetitions: int = 1,
+        base_seed: int = 0,
+    ) -> None:
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        self._parameters = {name: list(values) for name, values in parameters.items()}
+        self._repetitions = repetitions
+        self._base_seed = base_seed
+
+    def __iter__(self):
+        names = list(self._parameters)
+        combinations = itertools.product(*(self._parameters[name] for name in names))
+        for combo_index, combination in enumerate(combinations):
+            for repetition in range(self._repetitions):
+                config = dict(zip(names, combination))
+                config["seed"] = self._base_seed + combo_index * self._repetitions + repetition
+                config["repetition"] = repetition
+                yield config
+
+    def run(self, run_one: Callable[[dict], dict]) -> list[dict]:
+        """Run ``run_one`` for every configuration and collect result rows.
+
+        The configuration (minus the bookkeeping ``repetition`` field) is
+        merged into each result row so downstream aggregation can group on it.
+        """
+        rows = []
+        for config in self:
+            outcome = run_one(dict(config))
+            row = {key: value for key, value in config.items() if key != "repetition"}
+            row.update(outcome)
+            rows.append(row)
+        return rows
+
+
+def aggregate_rows(
+    rows: Iterable[Mapping[str, Any]],
+    *,
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+    aggregator: Callable[[Sequence[float]], float] = statistics.fmean,
+) -> list[dict]:
+    """Group rows by the given keys and aggregate numeric metrics.
+
+    Non-numeric or missing metric values are skipped; a group whose metric has
+    no usable values reports ``None`` for it.  Boolean metrics are averaged as
+    rates (True → 1.0), which is how the experiments report success fractions.
+    """
+    grouped: dict[tuple, list[Mapping[str, Any]]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in group_by)
+        grouped.setdefault(key, []).append(row)
+
+    aggregated: list[dict] = []
+    for key, members in grouped.items():
+        entry: dict[str, Any] = dict(zip(group_by, key))
+        entry["runs"] = len(members)
+        for metric in metrics:
+            values = [
+                float(member[metric])
+                for member in members
+                if isinstance(member.get(metric), (int, float, bool))
+            ]
+            entry[metric] = aggregator(values) if values else None
+        aggregated.append(entry)
+    aggregated.sort(key=lambda entry: tuple(repr(entry[column]) for column in group_by))
+    return aggregated

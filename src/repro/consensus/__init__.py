@@ -1,0 +1,47 @@
+"""Consensus algorithms for homonymous systems, plus baselines and validators.
+
+The two algorithms of the paper's Section 5:
+
+* :class:`~repro.consensus.homega_majority.HOmegaMajorityConsensus` —
+  Figure 8: consensus in ``HAS[t < n/2, HΩ]`` (majority of correct processes,
+  ``n`` known, membership unknown).
+* :class:`~repro.consensus.homega_hsigma.HOmegaHSigmaConsensus` —
+  Figure 9: consensus in ``HAS[HΩ, HΣ]`` (any number of crashes, ``n``
+  unknown).
+
+Baselines and ablations:
+
+* :class:`~repro.consensus.classical_omega.ClassicalOmegaConsensus` — the
+  unique-identifier Ω + majority algorithm Figure 8 degenerates to when every
+  identifier is distinct.
+* :class:`~repro.consensus.anonymous_aomega.AnonymousAOmegaConsensus` — the
+  Bonnet–Raynal-style AΩ + majority algorithm Figure 8 was derived from.
+* :class:`~repro.consensus.no_coordination.NoCoordinationConsensus` —
+  Figure 8 *without* the Leaders' Coordination Phase (the paper's main
+  algorithmic addition), used by the E7 ablation.
+
+:mod:`repro.consensus.validator` checks Validity, Agreement, and Termination
+of a run trace.
+"""
+
+from .anonymous_aomega import AnonymousAOmegaConsensus
+from .anonymous_aomega_asigma import AnonymousAOmegaASigmaConsensus
+from .base import ConsensusKeys, ConsensusProgram
+from .classical_omega import ClassicalOmegaConsensus
+from .homega_hsigma import HOmegaHSigmaConsensus
+from .homega_majority import HOmegaMajorityConsensus
+from .no_coordination import NoCoordinationConsensus
+from .validator import ConsensusVerdict, validate_consensus
+
+__all__ = [
+    "AnonymousAOmegaASigmaConsensus",
+    "AnonymousAOmegaConsensus",
+    "ClassicalOmegaConsensus",
+    "ConsensusKeys",
+    "ConsensusProgram",
+    "ConsensusVerdict",
+    "HOmegaHSigmaConsensus",
+    "HOmegaMajorityConsensus",
+    "NoCoordinationConsensus",
+    "validate_consensus",
+]

@@ -1,0 +1,49 @@
+"""Baseline: anonymous AΩ + majority consensus (Bonnet–Raynal style).
+
+Figure 8 of the paper was derived from the anonymous algorithm of Bonnet &
+Raynal by replacing AΩ with HΩ and adding the Leaders' Coordination Phase.
+This baseline is the original shape: the leader question is answered by the
+boolean AΩ flag, there is no coordination phase, and Phase 0 onwards is
+unchanged.  It is used at the anonymous extreme of the E6 homonymy-spectrum
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.process import ProcessContext
+from .homega_majority import HOmegaMajorityConsensus
+
+__all__ = ["AnonymousAOmegaConsensus"]
+
+
+class AnonymousAOmegaConsensus(HOmegaMajorityConsensus):
+    """Round-based AΩ + majority consensus for anonymous systems."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        *,
+        n: int,
+        t: int | None = None,
+        detector_name: str = "AOmega",
+        record_outputs: bool = True,
+    ) -> None:
+        super().__init__(
+            proposal,
+            n=n,
+            t=t,
+            detector_name=detector_name,
+            use_coordination_phase=False,
+            record_outputs=record_outputs,
+        )
+
+    def considers_itself_leader(self, ctx: ProcessContext) -> bool:
+        return bool(ctx.detector(self.detector_name).a_leader)
+
+    def leader_multiplicity(self, ctx: ProcessContext) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return "Baseline consensus (AΩ, anonymous, majority)"

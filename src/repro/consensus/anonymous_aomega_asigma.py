@@ -1,0 +1,127 @@
+"""Anonymous variant of Figure 9: consensus with AΩ and AΣ (quorum counting).
+
+The paper closes Section 5.3 by observing that Figure 9 "can be easily
+transformed into an algorithm that solves consensus in AAS[AΩ, AΣ]": remove
+the Leaders' Coordination Phase and replace the HΩ leader test by the boolean
+AΩ flag; the HΣ quorums become AΣ's ``(label, size)`` quorums.  The resulting
+Phase 0 is the Bonnet–Raynal anonymous algorithm's.
+
+This class implements that transformation.  It reuses the Figure 9 skeleton
+but assembles quorums by *counting* messages whose senders carry the pair's
+label (the anonymous quorums carry sizes, not identifier multisets).  It
+serves as the anonymous baseline for experiment E5 and as a working rendering
+of the prior-work algorithm the paper generalises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..sim.message import Message
+from ..sim.process import ProcessContext
+from .base import BOTTOM
+from .homega_hsigma import HOmegaHSigmaConsensus
+
+__all__ = ["AnonymousAOmegaASigmaConsensus"]
+
+
+class AnonymousAOmegaASigmaConsensus(HOmegaHSigmaConsensus):
+    """Consensus in ``AAS[AΩ, AΣ]`` (anonymous systems, any number of crashes)."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        *,
+        aomega_name: str = "AOmega",
+        asigma_name: str = "ASigma",
+        record_outputs: bool = True,
+    ) -> None:
+        super().__init__(
+            proposal,
+            homega_name=aomega_name,
+            hsigma_name=asigma_name,
+            record_outputs=record_outputs,
+        )
+
+    # ------------------------------------------------------------------
+    # Leader hooks: AΩ is a boolean flag, there are no homonymous leaders.
+    # ------------------------------------------------------------------
+    def considers_itself_leader(self, ctx: ProcessContext) -> bool:
+        return bool(ctx.detector(self.homega_name).a_leader)
+
+    def leader_multiplicity(self, ctx: ProcessContext) -> int:
+        return 1
+
+    def _coordination_phase(self, ctx: ProcessContext, round_number: int):
+        # The anonymous algorithm has no Leaders' Coordination Phase; the
+        # COORD broadcast is kept because Phase 2 uses it to detect that
+        # another process already moved to the next round.
+        ctx.broadcast(
+            "COORD", round=round_number, identity=ctx.identity, estimate=self.est1
+        )
+        return
+        yield  # pragma: no cover - makes this method a generator like the parent
+
+    # ------------------------------------------------------------------
+    # Quorum assembly: AΣ pairs are (label, size); labels come from a_sigma.
+    # ------------------------------------------------------------------
+    def _current_labels(self, ctx: ProcessContext) -> frozenset:
+        return frozenset(label for label, _ in ctx.detector(self.hsigma_name).a_sigma)
+
+    def _find_quorum(
+        self, ctx: ProcessContext, kind: str, round_number: int
+    ) -> list[Message] | None:
+        received = self.messages(kind, round_number)
+        if not received:
+            return None
+        pairs = sorted(ctx.detector(self.hsigma_name).a_sigma, key=repr)
+        sub_rounds = sorted({message["sub_round"] for message in received})
+        for label, size in pairs:
+            for sub_round in sub_rounds:
+                candidates = [
+                    message
+                    for message in received
+                    if message["sub_round"] == sub_round and label in message["labels"]
+                ]
+                if len(candidates) >= size > 0:
+                    return candidates[:size]
+        return None
+
+    def _should_advance_sub_round(
+        self,
+        ctx: ProcessContext,
+        kind: str,
+        round_number: int,
+        sub_round: int,
+        current_labels: frozenset,
+    ) -> bool:
+        if self._current_labels(ctx) != current_labels:
+            return True
+        return any(
+            message["sub_round"] > sub_round for message in self.messages(kind, round_number)
+        )
+
+    # The parent reads ``h_labels``/``h_quora`` when (re)entering a phase;
+    # route those reads to the AΣ detector's label set and pairs.
+    def _hsigma(self, ctx: ProcessContext):
+        detector = ctx.detector(self.hsigma_name)
+
+        class _LabelsAdapter:
+            """Expose the AΣ detector under the attribute the parent reads."""
+
+            @property
+            def h_labels(self):
+                return frozenset(label for label, _ in detector.a_sigma)
+
+            @property
+            def h_quora(self):
+                return detector.a_sigma
+
+            @property
+            def a_sigma(self):
+                return detector.a_sigma
+
+        return _LabelsAdapter()
+
+    def describe(self) -> str:
+        return "Baseline consensus (AΩ + AΣ, anonymous, any number of crashes)"

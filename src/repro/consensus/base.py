@@ -1,0 +1,153 @@
+"""Shared machinery of the consensus programs.
+
+All the paper's consensus algorithms (and the baselines derived from them)
+share the same skeleton: they proceed in asynchronous rounds, buffer the
+messages of each phase per round, and propagate decisions through a reliable
+``DECIDE`` relay (the paper's Task T2).  This module hosts that common part so
+the per-algorithm modules contain only the logic that differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim.message import Message
+from ..sim.process import ProcessContext, ProcessProgram
+
+__all__ = ["ConsensusKeys", "ConsensusProgram"]
+
+#: The ⊥ ("bottom") estimate used by Phases 1 and 2.
+BOTTOM = "⊥-consensus"
+
+
+@dataclass(frozen=True)
+class ConsensusKeys:
+    """Standard trace keys recorded by the consensus programs."""
+
+    ROUND: str = "consensus.round"
+    PHASE: str = "consensus.phase"
+    ESTIMATE: str = "consensus.est1"
+    DECIDED_ROUND: str = "consensus.decided_round"
+
+
+KEYS = ConsensusKeys()
+
+
+class ConsensusProgram(ProcessProgram):
+    """Base class for round-based consensus programs.
+
+    Subclasses implement :meth:`run_round` (one full round of the algorithm,
+    as a generator) and may override :meth:`on_extra_setup` to register
+    additional handlers.  The base class provides:
+
+    * the proposal / estimate / round-counter state,
+    * per-round, per-phase message buffers (``COORD``, ``PH0``, ``PH1``,
+      ``PH2``) with arrival-order preserved,
+    * the reliable ``DECIDE`` relay of Task T2, and
+    * trace recording of rounds and decisions.
+    """
+
+    #: Message kinds buffered per round by the base class.
+    _BUFFERED_KINDS = ("COORD", "PH0", "PH1", "PH2")
+
+    def __init__(self, proposal: Any, *, record_outputs: bool = True) -> None:
+        self.proposal = proposal
+        self.est1 = proposal
+        self.round = 0
+        self.record_outputs = record_outputs
+        self.decided_value: Any = None
+        self.decided = False
+        self._buffers: dict[str, dict[int, list[Message]]] = {
+            kind: {} for kind in self._BUFFERED_KINDS
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def setup(self, ctx: ProcessContext) -> None:
+        for kind in self._BUFFERED_KINDS:
+            ctx.on(kind, self._make_buffer_handler(kind))
+        ctx.on("DECIDE", lambda msg: self._on_decide(ctx, msg))
+        self.on_extra_setup(ctx)
+        ctx.spawn(lambda: self._round_loop(ctx), name="consensus-rounds")
+
+    def on_extra_setup(self, ctx: ProcessContext) -> None:
+        """Hook for subclasses that need extra handlers or state."""
+
+    def _make_buffer_handler(self, kind: str):
+        def handler(message: Message) -> None:
+            self._buffers[kind].setdefault(message["round"], []).append(message)
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # The round loop (Task T1)
+    # ------------------------------------------------------------------
+    def _round_loop(self, ctx: ProcessContext):
+        while not self.decided:
+            self.round += 1
+            if self.record_outputs:
+                ctx.record(KEYS.ROUND, self.round)
+                ctx.record(KEYS.ESTIMATE, self.est1)
+            yield from self.run_round(ctx, self.round)
+
+    def run_round(self, ctx: ProcessContext, round_number: int):
+        """Execute one round of the algorithm (a generator)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Deciding (Line 32 of Figure 8, Line 51 of Figure 9, and Task T2)
+    # ------------------------------------------------------------------
+    def decide(self, ctx: ProcessContext, value: Any) -> None:
+        """Decide ``value``: relay it and stop participating in new rounds."""
+        if self.decided:
+            return
+        ctx.broadcast("DECIDE", value=value)
+        self._mark_decided(ctx, value)
+
+    def _on_decide(self, ctx: ProcessContext, message: Message) -> None:
+        if self.decided:
+            return
+        # Task T2: forward the decision once, then adopt it.
+        ctx.broadcast("DECIDE", value=message["value"])
+        self._mark_decided(ctx, message["value"])
+
+    def _mark_decided(self, ctx: ProcessContext, value: Any) -> None:
+        self.decided = True
+        self.decided_value = value
+        ctx.decide(value)
+        if self.record_outputs:
+            ctx.record(KEYS.DECIDED_ROUND, self.round)
+
+    # ------------------------------------------------------------------
+    # Message-buffer helpers used by the subclasses' phases
+    # ------------------------------------------------------------------
+    def messages(self, kind: str, round_number: int) -> list[Message]:
+        """The buffered messages of ``kind`` for ``round_number`` (arrival order)."""
+        return self._buffers[kind].get(round_number, [])
+
+    def count(self, kind: str, round_number: int) -> int:
+        """How many messages of ``kind`` were received for ``round_number``."""
+        return len(self.messages(kind, round_number))
+
+    def count_matching(self, kind: str, round_number: int, **fields: Any) -> int:
+        """How many buffered messages of ``kind``/``round`` match the given fields."""
+        return sum(
+            1 for message in self.messages(kind, round_number) if message.matches(**fields)
+        )
+
+    def estimates(self, kind: str, round_number: int, **fields: Any) -> list[Any]:
+        """The ``estimate`` payloads of the matching buffered messages."""
+        return [
+            message["estimate"]
+            for message in self.messages(kind, round_number)
+            if message.matches(**fields)
+        ]
+
+    def has_message(self, kind: str, round_number: int, **fields: Any) -> bool:
+        """Whether at least one matching message has been buffered."""
+        return self.count_matching(kind, round_number, **fields) > 0
+
+    def describe(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,50 @@
+"""Baseline: classical Ω + majority consensus for unique-identifier systems.
+
+This is what Figure 8 degenerates to when every process has its own
+identifier: the detector elects a single correct leader, every
+``h_multiplicity`` equals 1, and the Leaders' Coordination Phase becomes a
+no-op (a leader only has to hear its own ``COORD``).  The baseline keeps the
+coordination phase disabled to match the classical algorithm exactly; the E6
+experiment compares it against the homonymous algorithm at the unique-id
+extreme.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.process import ProcessContext
+from .homega_majority import HOmegaMajorityConsensus
+
+__all__ = ["ClassicalOmegaConsensus"]
+
+
+class ClassicalOmegaConsensus(HOmegaMajorityConsensus):
+    """Round-based Ω + majority consensus (unique identifiers)."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        *,
+        n: int,
+        t: int | None = None,
+        detector_name: str = "Omega",
+        record_outputs: bool = True,
+    ) -> None:
+        super().__init__(
+            proposal,
+            n=n,
+            t=t,
+            detector_name=detector_name,
+            use_coordination_phase=False,
+            record_outputs=record_outputs,
+        )
+
+    def considers_itself_leader(self, ctx: ProcessContext) -> bool:
+        return ctx.detector(self.detector_name).leader == ctx.identity
+
+    def leader_multiplicity(self, ctx: ProcessContext) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return "Baseline consensus (Ω, unique ids, majority)"

@@ -1,0 +1,286 @@
+"""Figure 9: consensus in ``HAS[HΩ, HΣ]`` — any number of crashes, ``n`` unknown.
+
+The round structure mirrors Figure 8 (Leaders' Coordination Phase, Phase 0),
+but Phases 1 and 2 replace the "wait for ``n − t`` messages" quorums with the
+HΣ detector's quorums:
+
+* every ``PH1``/``PH2`` message carries the sender's identifier, the current
+  *sub-round*, the sender's current ``h_labels``, and its estimate;
+* a process exits the phase when it can assemble, for some pair
+  ``(x, mset) ∈ h_quora``, a set ``M`` of messages of one sub-round whose
+  senders all carry label ``x`` and whose identifier multiset equals ``mset``;
+* whenever its own ``h_labels`` grows, or it learns that another process
+  moved to a higher sub-round, it enters a new sub-round and re-broadcasts its
+  message with the fresh labels, so quorum assembly can catch up with the
+  detector's evolution.
+
+Phase 2 additionally exits when a ``COORD`` message of the next round shows
+that somebody already moved on.  Decisions propagate through the ``DECIDE``
+relay of the base class, so correct processes stuck in a phase after others
+decided still terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..identity import IdentityMultiset
+from ..sim.message import Message
+from ..sim.process import ProcessContext
+from .base import BOTTOM, ConsensusProgram
+
+__all__ = ["HOmegaHSigmaConsensus"]
+
+
+class HOmegaHSigmaConsensus(ConsensusProgram):
+    """The Figure 9 algorithm (code for one process)."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        *,
+        homega_name: str = "HOmega",
+        hsigma_name: str = "HSigma",
+        record_outputs: bool = True,
+    ) -> None:
+        super().__init__(proposal, record_outputs=record_outputs)
+        self.homega_name = homega_name
+        self.hsigma_name = hsigma_name
+
+    # ------------------------------------------------------------------
+    # Detector accessors
+    # ------------------------------------------------------------------
+    def _homega(self, ctx: ProcessContext):
+        return ctx.detector(self.homega_name)
+
+    def _hsigma(self, ctx: ProcessContext):
+        return ctx.detector(self.hsigma_name)
+
+    def considers_itself_leader(self, ctx: ProcessContext) -> bool:
+        """Whether the HΩ detector currently names this process a leader."""
+        return self._homega(ctx).h_leader == ctx.identity
+
+    def leader_multiplicity(self, ctx: ProcessContext) -> int:
+        """The number of homonymous leaders reported by the HΩ detector."""
+        return self._homega(ctx).h_multiplicity
+
+    # ------------------------------------------------------------------
+    # One round (Lines 7-62 of Figure 9)
+    # ------------------------------------------------------------------
+    def run_round(self, ctx: ProcessContext, round_number: int):
+        yield from self._coordination_phase(ctx, round_number)
+        if self.decided:
+            return
+        yield from self._phase_zero(ctx, round_number)
+        if self.decided:
+            return
+        est2 = yield from self._phase_one(ctx, round_number)
+        if self.decided:
+            return
+        yield from self._phase_two(ctx, round_number, est2)
+
+    # -- Leaders' Coordination Phase and Phase 0 (identical to Figure 8) ----
+    def _coordination_phase(self, ctx: ProcessContext, round_number: int):
+        ctx.broadcast(
+            "COORD", round=round_number, identity=ctx.identity, estimate=self.est1
+        )
+        yield ctx.wait_until(
+            lambda: self.decided
+            or not self.considers_itself_leader(ctx)
+            or self.count_matching("COORD", round_number, identity=ctx.identity)
+            >= self.leader_multiplicity(ctx)
+        )
+        if self.decided:
+            return
+        own_estimates = self.estimates("COORD", round_number, identity=ctx.identity)
+        if own_estimates:
+            self.est1 = min(own_estimates)
+
+    def _phase_zero(self, ctx: ProcessContext, round_number: int):
+        yield ctx.wait_until(
+            lambda: self.decided
+            or self.considers_itself_leader(ctx)
+            or self.has_message("PH0", round_number)
+        )
+        if self.decided:
+            return
+        ph0_estimates = self.estimates("PH0", round_number)
+        if ph0_estimates:
+            self.est1 = ph0_estimates[0]
+        ctx.broadcast("PH0", round=round_number, estimate=self.est1)
+
+    # -- Phase 1 (Lines 19-38) ----------------------------------------------
+    def _phase_one(self, ctx: ProcessContext, round_number: int):
+        sub_round = 1
+        current_labels = frozenset(self._hsigma(ctx).h_labels)
+        self._broadcast_phase_message(ctx, "PH1", round_number, sub_round, current_labels, self.est1)
+        while True:
+            if self.decided:
+                return BOTTOM
+            # Lines 23-24: a PH2 of this round short-circuits the phase.
+            ph2_messages = self.messages("PH2", round_number)
+            if ph2_messages:
+                return ph2_messages[0]["estimate"]
+            # Lines 25-31: try to assemble a quorum of PH1 messages.
+            quorum = self._find_quorum(ctx, "PH1", round_number)
+            if quorum is not None:
+                estimates = {message["estimate"] for message in quorum}
+                return estimates.pop() if len(estimates) == 1 else BOTTOM
+            # Lines 32-36: new labels or a higher sub-round force a re-broadcast.
+            if self._should_advance_sub_round(ctx, "PH1", round_number, sub_round, current_labels):
+                sub_round += 1
+                current_labels = frozenset(self._hsigma(ctx).h_labels)
+                self._broadcast_phase_message(
+                    ctx, "PH1", round_number, sub_round, current_labels, self.est1
+                )
+                continue
+            yield ctx.wait_until(
+                self._phase_wait_predicate(ctx, "PH1", round_number, sub_round, current_labels,
+                                           also_exit_on_next_round_coord=False)
+            )
+
+    # -- Phase 2 (Lines 39-61) ----------------------------------------------
+    def _phase_two(self, ctx: ProcessContext, round_number: int, est2: Any):
+        sub_round = 1
+        current_labels = frozenset(self._hsigma(ctx).h_labels)
+        self._broadcast_phase_message(ctx, "PH2", round_number, sub_round, current_labels, est2)
+        while True:
+            if self.decided:
+                return
+            # Lines 43-44: somebody already started the next round.
+            if self.has_message("COORD", round_number + 1):
+                return
+            # Lines 45-54: try to assemble a quorum of PH2 messages.
+            quorum = self._find_quorum(ctx, "PH2", round_number)
+            if quorum is not None:
+                received = {message["estimate"] for message in quorum}
+                non_bottom = received - {BOTTOM}
+                if len(non_bottom) == 1:
+                    value = next(iter(non_bottom))
+                    if received == non_bottom:
+                        self.decide(ctx, value)
+                        return
+                    self.est1 = value
+                return
+            # Lines 55-59: new labels or a higher sub-round force a re-broadcast.
+            if self._should_advance_sub_round(ctx, "PH2", round_number, sub_round, current_labels):
+                sub_round += 1
+                current_labels = frozenset(self._hsigma(ctx).h_labels)
+                self._broadcast_phase_message(
+                    ctx, "PH2", round_number, sub_round, current_labels, est2
+                )
+                continue
+            yield ctx.wait_until(
+                self._phase_wait_predicate(ctx, "PH2", round_number, sub_round, current_labels,
+                                           also_exit_on_next_round_coord=True)
+            )
+
+    # ------------------------------------------------------------------
+    # Quorum assembly and sub-round bookkeeping
+    # ------------------------------------------------------------------
+    def _broadcast_phase_message(
+        self,
+        ctx: ProcessContext,
+        kind: str,
+        round_number: int,
+        sub_round: int,
+        labels: frozenset,
+        estimate: Any,
+    ) -> None:
+        ctx.broadcast(
+            kind,
+            round=round_number,
+            identity=ctx.identity,
+            sub_round=sub_round,
+            labels=tuple(labels),
+            estimate=estimate,
+        )
+
+    def _find_quorum(
+        self, ctx: ProcessContext, kind: str, round_number: int
+    ) -> list[Message] | None:
+        """Find a message set ``M`` realising some pair of ``h_quora`` (Lines 25-28/45-48).
+
+        All messages of ``M`` belong to the same sub-round, every sender's
+        announced labels contain the pair's label, and the multiset of sender
+        identifiers equals the pair's multiset.  The first feasible pair (in a
+        deterministic order) is returned.
+        """
+        received = self.messages(kind, round_number)
+        if not received:
+            return None
+        pairs = sorted(self._hsigma(ctx).h_quora, key=repr)
+        sub_rounds = sorted({message["sub_round"] for message in received})
+        for label, multiset in pairs:
+            if not isinstance(multiset, IdentityMultiset):
+                multiset = IdentityMultiset(multiset)
+            for sub_round in sub_rounds:
+                candidates = [
+                    message
+                    for message in received
+                    if message["sub_round"] == sub_round and label in message["labels"]
+                ]
+                chosen = self._select_messages_matching(candidates, multiset)
+                if chosen is not None:
+                    return chosen
+        return None
+
+    @staticmethod
+    def _select_messages_matching(
+        candidates: Iterable[Message], multiset: IdentityMultiset
+    ) -> list[Message] | None:
+        """Pick, per identifier, the required number of candidate messages."""
+        chosen: list[Message] = []
+        remaining = dict(multiset.counts)
+        if not remaining:
+            return None
+        for message in candidates:
+            identity = message["identity"]
+            if remaining.get(identity, 0) > 0:
+                chosen.append(message)
+                remaining[identity] -= 1
+        if any(count > 0 for count in remaining.values()):
+            return None
+        return chosen
+
+    def _should_advance_sub_round(
+        self,
+        ctx: ProcessContext,
+        kind: str,
+        round_number: int,
+        sub_round: int,
+        current_labels: frozenset,
+    ) -> bool:
+        if frozenset(self._hsigma(ctx).h_labels) != current_labels:
+            return True
+        return any(
+            message["sub_round"] > sub_round for message in self.messages(kind, round_number)
+        )
+
+    def _phase_wait_predicate(
+        self,
+        ctx: ProcessContext,
+        kind: str,
+        round_number: int,
+        sub_round: int,
+        current_labels: frozenset,
+        *,
+        also_exit_on_next_round_coord: bool,
+    ):
+        def predicate() -> bool:
+            if self.decided:
+                return True
+            if kind == "PH1" and self.messages("PH2", round_number):
+                return True
+            if also_exit_on_next_round_coord and self.has_message("COORD", round_number + 1):
+                return True
+            if self._find_quorum(ctx, kind, round_number) is not None:
+                return True
+            return self._should_advance_sub_round(
+                ctx, kind, round_number, sub_round, current_labels
+            )
+
+        return predicate
+
+    def describe(self) -> str:
+        return "Figure-9 consensus (HΩ + HΣ)"

@@ -1,0 +1,167 @@
+"""Figure 8: consensus in ``HAS[t < n/2, HΩ]``.
+
+The algorithm runs in rounds of four phases:
+
+* **Leaders' Coordination Phase** — every process broadcasts
+  ``COORD(id(p), r, est1)``.  A process that considers itself a leader
+  (its HΩ detector names its own identifier) waits until it has received one
+  ``COORD`` of its own identifier for this round from each of its
+  ``h_multiplicity`` homonymous leaders, then adopts the minimum of their
+  estimates.  This is the paper's addition over the anonymous algorithm it is
+  derived from: it makes all homonymous leaders eventually propose the same
+  value (Lemma 7).
+* **Phase 0** — leaders broadcast their estimate; non-leaders wait for a
+  leader's ``PH0`` and adopt it.
+* **Phase 1** — everybody broadcasts its estimate and waits for ``n − t`` of
+  them; if more than ``n/2`` carry the same value ``v`` the process keeps
+  ``v``, otherwise ``⊥``.
+* **Phase 2** — everybody broadcasts the Phase 1 outcome and waits for
+  ``n − t`` of them; a process that sees only ``v ≠ ⊥`` decides ``v``, one
+  that sees ``v`` and ``⊥`` adopts ``v`` for the next round, one that sees
+  only ``⊥`` keeps its estimate.
+
+Decisions are propagated by the reliable ``DECIDE`` relay of the base class.
+
+The class also serves as the skeleton for the baselines: subclasses override
+the two leader hooks to plug in Ω or AΩ instead of HΩ, and the ablation
+subclass disables the coordination phase.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..sim.process import ProcessContext
+from .base import BOTTOM, ConsensusProgram
+
+__all__ = ["HOmegaMajorityConsensus"]
+
+
+class HOmegaMajorityConsensus(ConsensusProgram):
+    """The Figure 8 algorithm (code for one process)."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        *,
+        n: int,
+        t: int | None = None,
+        detector_name: str = "HOmega",
+        use_coordination_phase: bool = True,
+        record_outputs: bool = True,
+    ) -> None:
+        """``n`` is the (known) system size; ``t`` the assumed maximum number of
+        crashes, defaulting to the largest minority ``⌈n/2⌉ − 1``."""
+        super().__init__(proposal, record_outputs=record_outputs)
+        if n <= 0:
+            raise ConfigurationError("the system size n must be positive")
+        if t is None:
+            t = (n - 1) // 2
+        if not 0 <= t < n / 2:
+            raise ConfigurationError(
+                f"Figure 8 requires a majority of correct processes (t < n/2); got t={t}, n={n}"
+            )
+        self.n = n
+        self.t = t
+        self.detector_name = detector_name
+        self.use_coordination_phase = use_coordination_phase
+
+    # ------------------------------------------------------------------
+    # Leader hooks (overridden by the Ω / AΩ baselines)
+    # ------------------------------------------------------------------
+    def considers_itself_leader(self, ctx: ProcessContext) -> bool:
+        """Whether the underlying detector currently names this process a leader."""
+        return ctx.detector(self.detector_name).h_leader == ctx.identity
+
+    def leader_multiplicity(self, ctx: ProcessContext) -> int:
+        """How many homonymous leaders the detector currently reports."""
+        return ctx.detector(self.detector_name).h_multiplicity
+
+    # ------------------------------------------------------------------
+    # One round (Lines 7-35 of Figure 8)
+    # ------------------------------------------------------------------
+    def run_round(self, ctx: ProcessContext, round_number: int):
+        yield from self._coordination_phase(ctx, round_number)
+        if self.decided:
+            return
+        yield from self._phase_zero(ctx, round_number)
+        if self.decided:
+            return
+        estimate_after_phase_one = yield from self._phase_one(ctx, round_number)
+        if self.decided:
+            return
+        yield from self._phase_two(ctx, round_number, estimate_after_phase_one)
+
+    # -- Leaders' Coordination Phase --------------------------------------
+    def _coordination_phase(self, ctx: ProcessContext, round_number: int):
+        ctx.broadcast(
+            "COORD", round=round_number, identity=ctx.identity, estimate=self.est1
+        )
+        if not self.use_coordination_phase:
+            return
+        yield ctx.wait_until(
+            lambda: self.decided
+            or not self.considers_itself_leader(ctx)
+            or self.count_matching("COORD", round_number, identity=ctx.identity)
+            >= self.leader_multiplicity(ctx)
+        )
+        if self.decided:
+            return
+        own_estimates = self.estimates("COORD", round_number, identity=ctx.identity)
+        if own_estimates:
+            # Lines 12-14: adopt the smallest estimate among homonymous leaders.
+            self.est1 = min(own_estimates)
+
+    # -- Phase 0 -----------------------------------------------------------
+    def _phase_zero(self, ctx: ProcessContext, round_number: int):
+        yield ctx.wait_until(
+            lambda: self.decided
+            or self.considers_itself_leader(ctx)
+            or self.has_message("PH0", round_number)
+        )
+        if self.decided:
+            return
+        ph0_estimates = self.estimates("PH0", round_number)
+        if ph0_estimates:
+            self.est1 = ph0_estimates[0]
+        ctx.broadcast("PH0", round=round_number, estimate=self.est1)
+
+    # -- Phase 1 -----------------------------------------------------------
+    def _phase_one(self, ctx: ProcessContext, round_number: int):
+        ctx.broadcast("PH1", round=round_number, estimate=self.est1)
+        required = self.n - self.t
+        yield ctx.wait_until(
+            lambda: self.decided or self.count("PH1", round_number) >= required
+        )
+        if self.decided:
+            return BOTTOM
+        received = self.estimates("PH1", round_number)
+        for value in set(received):
+            if received.count(value) > self.n / 2:
+                return value
+        return BOTTOM
+
+    # -- Phase 2 -----------------------------------------------------------
+    def _phase_two(self, ctx: ProcessContext, round_number: int, est2: Any):
+        ctx.broadcast("PH2", round=round_number, estimate=est2)
+        required = self.n - self.t
+        yield ctx.wait_until(
+            lambda: self.decided or self.count("PH2", round_number) >= required
+        )
+        if self.decided:
+            return
+        received = set(self.estimates("PH2", round_number))
+        non_bottom = received - {BOTTOM}
+        if len(non_bottom) == 1:
+            value = next(iter(non_bottom))
+            if received == non_bottom:
+                # Line 32: every received estimate is the same non-⊥ value.
+                self.decide(ctx, value)
+                return
+            # Line 33: both v and ⊥ were received — adopt v for the next round.
+            self.est1 = value
+        # Line 34: only ⊥ received — keep the current estimate.
+
+    def describe(self) -> str:
+        return "Figure-8 consensus (HΩ, majority)"

@@ -1,0 +1,46 @@
+"""Ablation: Figure 8 without the Leaders' Coordination Phase.
+
+The paper presents the coordination phase as the main algorithmic change
+needed to move from the anonymous AΩ algorithm to the homonymous HΩ one:
+without it, several homonymous leaders may keep broadcasting *different*
+estimates in Phase 0, non-leaders adopt whichever they hear first, Phase 1
+then fails to gather a majority for a single value, and the round ends
+undecided — potentially forever.
+
+This class is that broken variant, kept only for the E7 ablation, which
+measures how often runs with multiple homonymous leaders fail to decide
+within a generous horizon (and confirms the full algorithm always decides).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .homega_majority import HOmegaMajorityConsensus
+
+__all__ = ["NoCoordinationConsensus"]
+
+
+class NoCoordinationConsensus(HOmegaMajorityConsensus):
+    """Figure 8 with the Leaders' Coordination Phase removed (ablation only)."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        *,
+        n: int,
+        t: int | None = None,
+        detector_name: str = "HOmega",
+        record_outputs: bool = True,
+    ) -> None:
+        super().__init__(
+            proposal,
+            n=n,
+            t=t,
+            detector_name=detector_name,
+            use_coordination_phase=False,
+            record_outputs=record_outputs,
+        )
+
+    def describe(self) -> str:
+        return "Ablation: Figure-8 without Leaders' Coordination Phase"

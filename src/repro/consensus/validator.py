@@ -1,0 +1,136 @@
+"""Validity / Agreement / Termination checking for consensus runs.
+
+The validator takes a run trace, the run's failure pattern, and the proposal
+each process started with, and reports whether the three consensus properties
+of Section 5.1 hold:
+
+* **Validity** — every decided value is one of the proposed values;
+* **Agreement** — all decided values are equal (including decisions taken by
+  processes that later crash);
+* **Termination** — every correct process decides (within the simulated
+  horizon; the caller controls how generous that horizon is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConsensusViolationError
+from ..identity import ProcessId
+from ..sim.clock import Time
+from ..sim.failures import FailurePattern
+from ..sim.trace import RunTrace
+from .base import ConsensusKeys
+
+__all__ = ["ConsensusVerdict", "validate_consensus"]
+
+KEYS = ConsensusKeys()
+
+
+@dataclass(frozen=True)
+class ConsensusVerdict:
+    """The outcome of validating one consensus run."""
+
+    validity_ok: bool
+    agreement_ok: bool
+    termination_ok: bool
+    violations: tuple[str, ...] = ()
+    decided_values: dict[ProcessId, Any] = field(default_factory=dict)
+    decision_times: dict[ProcessId, Time] = field(default_factory=dict)
+    decision_rounds: dict[ProcessId, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether all three properties hold."""
+        return self.validity_ok and self.agreement_ok and self.termination_ok
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def last_decision_time(self) -> Time | None:
+        """When the last process decided, or ``None`` when nobody decided."""
+        if not self.decision_times:
+            return None
+        return max(self.decision_times.values())
+
+    @property
+    def max_decision_round(self) -> int | None:
+        """The largest round in which any process decided."""
+        if not self.decision_rounds:
+            return None
+        return max(self.decision_rounds.values())
+
+    def raise_on_safety_violation(self) -> None:
+        """Raise :class:`ConsensusViolationError` when validity or agreement fail."""
+        if not (self.validity_ok and self.agreement_ok):
+            raise ConsensusViolationError("; ".join(self.violations))
+
+
+def validate_consensus(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    proposals: Mapping[ProcessId, Any],
+    *,
+    require_termination: bool = True,
+) -> ConsensusVerdict:
+    """Validate one consensus run.
+
+    ``proposals`` maps every process to the value it proposed.  When
+    ``require_termination`` is ``False`` the termination property is reported
+    but a missing decision is not listed as a violation — useful for
+    experiments that deliberately cut runs short (e.g. the ablation measuring
+    how often the no-coordination variant fails to decide).
+    """
+    violations: list[str] = []
+    decided_values: dict[ProcessId, Any] = {}
+    decision_times: dict[ProcessId, Time] = {}
+    decision_rounds: dict[ProcessId, int] = {}
+
+    proposed_values = set(proposals.values())
+    for process, decision in trace.decisions.items():
+        decided_values[process] = decision.value
+        decision_times[process] = decision.time
+        round_of_decision = trace.final_value(process, KEYS.DECIDED_ROUND)
+        if round_of_decision is not None:
+            decision_rounds[process] = round_of_decision
+
+    # Validity ----------------------------------------------------------
+    validity_ok = True
+    for process, value in decided_values.items():
+        if value not in proposed_values:
+            validity_ok = False
+            violations.append(
+                f"{process!r} decided {value!r}, which was never proposed"
+            )
+
+    # Agreement ---------------------------------------------------------
+    agreement_ok = True
+    distinct_values = set(decided_values.values())
+    if len(distinct_values) > 1:
+        agreement_ok = False
+        violations.append(
+            f"processes decided different values: {sorted(map(repr, distinct_values))}"
+        )
+
+    # Termination -------------------------------------------------------
+    undecided_correct = sorted(
+        process for process in pattern.correct if process not in decided_values
+    )
+    termination_ok = not undecided_correct
+    if undecided_correct and require_termination:
+        violations.append(
+            "correct processes never decided: "
+            + ", ".join(repr(process) for process in undecided_correct)
+        )
+
+    return ConsensusVerdict(
+        validity_ok=validity_ok,
+        agreement_ok=agreement_ok,
+        termination_ok=termination_ok,
+        violations=tuple(violations),
+        decided_values=decided_values,
+        decision_times=decision_times,
+        decision_rounds=decision_rounds,
+    )

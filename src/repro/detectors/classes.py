@@ -1,0 +1,144 @@
+"""The catalogue of failure-detector classes the paper talks about.
+
+This module is purely descriptive: it names the classes, says which system
+family they were defined for, what their per-process output looks like, and
+whether the paper regards them as *realistic* (implementable in a synchronous
+system of that family).  The reduction registry (:mod:`repro.reductions.registry`)
+uses it as the node set of the Figure 5 relation graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import UnknownDetectorClassError
+
+__all__ = ["DetectorClass", "DetectorClassInfo", "detector_catalog"]
+
+
+class DetectorClass(enum.Enum):
+    """Failure-detector classes appearing in the paper."""
+
+    # Classical (unique identifiers).
+    P = "P"
+    DIAMOND_P = "◇P"            # complement of ◇P in the paper's notation: ◇P̄
+    OMEGA = "Ω"
+    SIGMA = "Σ"
+    SCRIPT_E = "ℰ"              # Definition 1 (ranked alive list)
+    # Anonymous.
+    AP = "AP"
+    A_OMEGA = "AΩ"
+    A_SIGMA = "AΣ"
+    # Homonymous (this paper).
+    DIAMOND_HP = "◇HP"
+    H_OMEGA = "HΩ"
+    H_SIGMA = "HΣ"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DetectorClassInfo:
+    """Descriptive metadata for one failure-detector class."""
+
+    detector_class: DetectorClass
+    family: str
+    output: str
+    introduced_in: str
+    realistic_note: str
+
+
+_CATALOG: dict[DetectorClass, DetectorClassInfo] = {
+    DetectorClass.P: DetectorClassInfo(
+        DetectorClass.P,
+        family="classical",
+        output="set of identifiers of processes suspected to have crashed",
+        introduced_in="Chandra & Toueg 1996",
+        realistic_note="implementable in synchronous systems with known membership",
+    ),
+    DetectorClass.DIAMOND_P: DetectorClassInfo(
+        DetectorClass.DIAMOND_P,
+        family="classical",
+        output="set `trusted` that eventually equals the identifiers of the correct processes",
+        introduced_in="complement of ◇P (Chandra & Toueg 1996)",
+        realistic_note="implementable under partial synchrony with unique identifiers",
+    ),
+    DetectorClass.OMEGA: DetectorClassInfo(
+        DetectorClass.OMEGA,
+        family="classical",
+        output="variable `leader` that eventually holds the same correct identifier everywhere",
+        introduced_in="Chandra, Hadzilacos & Toueg 1996",
+        realistic_note="implementable under partial synchrony with unique identifiers",
+    ),
+    DetectorClass.SIGMA: DetectorClassInfo(
+        DetectorClass.SIGMA,
+        family="classical",
+        output="quorum `trusted`: live intersecting sets of identifiers",
+        introduced_in="Delporte-Gallet, Fauconnier & Guerraoui 2010",
+        realistic_note="weakest for registers; implementable with a correct majority",
+    ),
+    DetectorClass.SCRIPT_E: DetectorClassInfo(
+        DetectorClass.SCRIPT_E,
+        family="classical",
+        output="sequence `alive` whose prefix eventually contains exactly the correct identifiers",
+        introduced_in="this paper, Definition 1 (service used informally before)",
+        realistic_note="implementable in AS[∅] without membership knowledge (Figure 3)",
+    ),
+    DetectorClass.AP: DetectorClassInfo(
+        DetectorClass.AP,
+        family="anonymous",
+        output="integer `anap`: an eventually tight upper bound on the number of alive processes",
+        introduced_in="Bonnet & Raynal 2011",
+        realistic_note="implementable in anonymous synchronous systems; not under partial synchrony",
+    ),
+    DetectorClass.A_OMEGA: DetectorClassInfo(
+        DetectorClass.A_OMEGA,
+        family="anonymous",
+        output="boolean `a_leader`: eventually true at exactly one correct process",
+        introduced_in="Bonnet & Raynal 2013",
+        realistic_note="not realistic: cannot be implemented even in anonymous synchronous systems",
+    ),
+    DetectorClass.A_SIGMA: DetectorClassInfo(
+        DetectorClass.A_SIGMA,
+        family="anonymous",
+        output="set of (label, size) pairs describing intersecting quorums",
+        introduced_in="Bonnet & Raynal 2013",
+        realistic_note="anonymous counterpart of Σ",
+    ),
+    DetectorClass.DIAMOND_HP: DetectorClassInfo(
+        DetectorClass.DIAMOND_HP,
+        family="homonymous",
+        output="multiset `h_trusted` that eventually equals I(Correct)",
+        introduced_in="this paper (homonymous counterpart of ◇P̄)",
+        realistic_note="implementable in HPS[∅] without membership knowledge (Figure 6)",
+    ),
+    DetectorClass.H_OMEGA: DetectorClassInfo(
+        DetectorClass.H_OMEGA,
+        family="homonymous",
+        output="pair (`h_leader`, `h_multiplicity`): a correct identifier and its correct multiplicity",
+        introduced_in="this paper (homonymous counterpart of Ω)",
+        realistic_note="implementable in HPS[∅]; the anonymous analogue AΩ is not realistic",
+    ),
+    DetectorClass.H_SIGMA: DetectorClassInfo(
+        DetectorClass.H_SIGMA,
+        family="homonymous",
+        output="pair of variables `h_quora` (label → identifier multiset) and `h_labels`",
+        introduced_in="this paper (homonymous counterpart of Σ)",
+        realistic_note="implementable in HSS[∅] without membership knowledge (Figure 7)",
+    ),
+}
+
+
+def detector_catalog() -> dict[DetectorClass, DetectorClassInfo]:
+    """Return the full class catalogue (a defensive copy)."""
+    return dict(_CATALOG)
+
+
+def info_for(detector_class: DetectorClass) -> DetectorClassInfo:
+    """Return the metadata of one class."""
+    try:
+        return _CATALOG[detector_class]
+    except KeyError:
+        raise UnknownDetectorClassError(f"unknown detector class {detector_class!r}") from None

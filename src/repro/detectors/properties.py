@@ -1,0 +1,593 @@
+"""Property checkers for failure-detector output traces.
+
+Emulated detectors (reductions and message-passing implementations) record
+their output variables into the run trace under the standard keys of
+:class:`~repro.detectors.base.OutputKeys`.  The functions in this module take
+such a trace together with the run's failure pattern and decide whether the
+recorded behaviour satisfies the defining properties of the target class —
+election for HΩ/Ω/AΩ, liveness for ◇HP/◇P̄/ℰ/AP, and the
+validity/monotonicity/liveness/safety quadruple for HΣ/Σ/AΣ.
+
+"Eventual" properties are judged against the *final* recorded value of every
+correct process (the run must have been long enough for the algorithm to
+settle); perpetual properties (safety, validity, monotonicity) are judged
+against every recorded snapshot of every process, faulty ones included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..identity import Identity, IdentityMultiset, ProcessId
+from ..sim.clock import Time
+from ..sim.failures import FailurePattern
+from ..sim.trace import RunTrace
+from .base import OutputKeys
+
+__all__ = [
+    "CheckResult",
+    "check_homega_election",
+    "check_diamond_hp",
+    "check_diamond_p",
+    "check_omega_election",
+    "check_sigma",
+    "check_script_e",
+    "check_ap",
+    "check_aomega_election",
+    "check_asigma",
+    "check_hsigma",
+]
+
+KEYS = OutputKeys()
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The verdict of one property check."""
+
+    ok: bool
+    violations: tuple[str, ...] = ()
+    stabilization_time: Time | None = None
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @classmethod
+    def from_violations(
+        cls,
+        violations: Iterable[str],
+        *,
+        stabilization_time: Time | None = None,
+        details: dict | None = None,
+    ) -> "CheckResult":
+        violations = tuple(violations)
+        return cls(
+            ok=not violations,
+            violations=violations,
+            stabilization_time=stabilization_time,
+            details=details or {},
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _final_values(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    key: str,
+    violations: list[str],
+) -> dict[ProcessId, Any]:
+    """Final recorded value of ``key`` for every correct process."""
+    finals: dict[ProcessId, Any] = {}
+    for process in sorted(pattern.correct):
+        records = trace.records_of(process, key)
+        if not records:
+            violations.append(f"correct process {process!r} never recorded {key!r}")
+            continue
+        finals[process] = records[-1].value
+    return finals
+
+
+def _stabilization_time(
+    trace: RunTrace, processes: Iterable[ProcessId], key: str
+) -> Time | None:
+    """Earliest time from which every given process holds its final value of ``key``."""
+    times: list[Time] = []
+    for process in processes:
+        records = trace.records_of(process, key)
+        if not records:
+            return None
+        final = records[-1].value
+        stable = trace.first_time_value_holds(process, key, lambda value: value == final)
+        if stable is None:
+            return None
+        times.append(stable)
+    return max(times) if times else None
+
+
+def _joint_stabilization(*times: Time | None) -> Time | None:
+    known = [time for time in times if time is not None]
+    if len(known) != len(times):
+        return None
+    return max(known) if known else None
+
+
+# ----------------------------------------------------------------------
+# HΩ — election (the paper's Section 3.2 definition)
+# ----------------------------------------------------------------------
+def check_homega_election(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    leader_key: str = KEYS.H_LEADER,
+    multiplicity_key: str = KEYS.H_MULTIPLICITY,
+) -> CheckResult:
+    """Check the HΩ election property.
+
+    Eventually every correct process permanently holds the same identifier
+    ``ℓ ∈ I(Correct)`` in ``h_leader`` and ``mult_{I(Correct)}(ℓ)`` in
+    ``h_multiplicity``.
+    """
+    violations: list[str] = []
+    leaders = _final_values(trace, pattern, leader_key, violations)
+    multiplicities = _final_values(trace, pattern, multiplicity_key, violations)
+    correct_ids = pattern.correct_identity_multiset()
+
+    if leaders:
+        distinct = set(leaders.values())
+        if len(distinct) > 1:
+            violations.append(f"correct processes disagree on the leader: {sorted(map(repr, distinct))}")
+        else:
+            leader = next(iter(distinct))
+            if leader not in correct_ids:
+                violations.append(
+                    f"the elected identifier {leader!r} does not belong to any correct process"
+                )
+            expected_multiplicity = correct_ids.multiplicity(leader)
+            for process, multiplicity in multiplicities.items():
+                if multiplicity != expected_multiplicity:
+                    violations.append(
+                        f"{process!r} reports multiplicity {multiplicity} for {leader!r}, "
+                        f"expected {expected_multiplicity}"
+                    )
+    stabilization = _joint_stabilization(
+        _stabilization_time(trace, pattern.correct, leader_key),
+        _stabilization_time(trace, pattern.correct, multiplicity_key),
+    )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=stabilization,
+        details={"leaders": {p: v for p, v in leaders.items()}},
+    )
+
+
+# ----------------------------------------------------------------------
+# ◇HP and ◇P̄ — eventual exact knowledge of the correct processes
+# ----------------------------------------------------------------------
+def check_diamond_hp(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.H_TRUSTED,
+) -> CheckResult:
+    """Check ◇HP liveness: eventually ``h_trusted = I(Correct)`` forever."""
+    violations: list[str] = []
+    finals = _final_values(trace, pattern, key, violations)
+    expected = pattern.correct_identity_multiset()
+    for process, value in finals.items():
+        if not isinstance(value, IdentityMultiset):
+            violations.append(f"{process!r} recorded a non-multiset value {value!r}")
+            continue
+        if value != expected:
+            violations.append(
+                f"{process!r} converged to {sorted(map(repr, value))}, "
+                f"expected I(Correct) = {sorted(map(repr, expected))}"
+            )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+    )
+
+
+def check_diamond_p(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.DIAMOND_P_TRUSTED,
+) -> CheckResult:
+    """Check ◇P̄ liveness: eventually ``trusted`` equals the correct identifiers."""
+    violations: list[str] = []
+    finals = _final_values(trace, pattern, key, violations)
+    expected = frozenset(
+        pattern.membership.identity_of(process) for process in pattern.correct
+    )
+    for process, value in finals.items():
+        if frozenset(value) != expected:
+            violations.append(
+                f"{process!r} converged to {sorted(map(repr, value))}, "
+                f"expected {sorted(map(repr, expected))}"
+            )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ω and AΩ — election in classical and anonymous systems
+# ----------------------------------------------------------------------
+def check_omega_election(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.OMEGA_LEADER,
+) -> CheckResult:
+    """Check Ω: eventually all correct processes trust the same correct identifier."""
+    violations: list[str] = []
+    finals = _final_values(trace, pattern, key, violations)
+    correct_ids = {
+        pattern.membership.identity_of(process) for process in pattern.correct
+    }
+    if finals:
+        distinct = set(finals.values())
+        if len(distinct) > 1:
+            violations.append(f"correct processes disagree on the leader: {sorted(map(repr, distinct))}")
+        elif next(iter(distinct)) not in correct_ids:
+            violations.append(
+                f"the elected identifier {next(iter(distinct))!r} is not a correct process's identifier"
+            )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+    )
+
+
+def check_aomega_election(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.A_OMEGA_LEADER,
+) -> CheckResult:
+    """Check AΩ: eventually exactly one correct process holds ``True``."""
+    violations: list[str] = []
+    finals = _final_values(trace, pattern, key, violations)
+    leaders = [process for process, value in finals.items() if value]
+    if finals and len(leaders) != 1:
+        violations.append(
+            f"expected exactly one correct process with a true flag, found {len(leaders)}"
+        )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+        details={"leaders": leaders},
+    )
+
+
+# ----------------------------------------------------------------------
+# Σ — quorums of identifiers (unique-identifier systems)
+# ----------------------------------------------------------------------
+def check_sigma(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.SIGMA_TRUSTED,
+) -> CheckResult:
+    """Check Σ liveness (eventually only correct identifiers) and safety
+    (every two quorums ever output intersect)."""
+    violations: list[str] = []
+    finals = _final_values(trace, pattern, key, violations)
+    correct_ids = frozenset(
+        pattern.membership.identity_of(process) for process in pattern.correct
+    )
+    for process, value in finals.items():
+        if not frozenset(value) <= correct_ids:
+            violations.append(
+                f"{process!r} finally trusts {sorted(map(repr, value))}, "
+                "which is not a subset of the correct identifiers"
+            )
+
+    all_quorums: list[tuple[ProcessId, Time, frozenset]] = []
+    for process in pattern.membership.processes:
+        for record in trace.records_of(process, key):
+            all_quorums.append((process, record.time, frozenset(record.value)))
+    for index, (process_a, time_a, quorum_a) in enumerate(all_quorums):
+        for process_b, time_b, quorum_b in all_quorums[index:]:
+            if not quorum_a & quorum_b:
+                violations.append(
+                    f"quorums {sorted(map(repr, quorum_a))} (at {process_a!r}, t={time_a}) and "
+                    f"{sorted(map(repr, quorum_b))} (at {process_b!r}, t={time_b}) do not intersect"
+                )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+    )
+
+
+# ----------------------------------------------------------------------
+# ℰ — ranked alive sequence
+# ----------------------------------------------------------------------
+def check_script_e(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.SCRIPT_E_ALIVE,
+) -> CheckResult:
+    """Check ℰ: eventually the correct identifiers occupy the first ``|Correct|`` ranks."""
+    violations: list[str] = []
+    finals = _final_values(trace, pattern, key, violations)
+    correct_count = len(pattern.correct)
+    correct_ids = [
+        pattern.membership.identity_of(process) for process in sorted(pattern.correct)
+    ]
+    for process, sequence in finals.items():
+        sequence = tuple(sequence)
+        for identity in correct_ids:
+            if identity not in sequence or sequence.index(identity) + 1 > correct_count:
+                violations.append(
+                    f"{process!r}: correct identifier {identity!r} does not end up within "
+                    f"the first {correct_count} ranks of {sequence!r}"
+                )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+    )
+
+
+# ----------------------------------------------------------------------
+# AP — eventually tight upper bound on the number of alive processes
+# ----------------------------------------------------------------------
+def check_ap(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.AP_ANAP,
+) -> CheckResult:
+    """Check AP safety (never below the alive count) and liveness (eventually exact)."""
+    violations: list[str] = []
+    for process in pattern.membership.processes:
+        for record in trace.records_of(process, key):
+            alive = len(pattern.alive_at(record.time))
+            if record.value < alive:
+                violations.append(
+                    f"{process!r} output {record.value} at t={record.time} while "
+                    f"{alive} processes were alive (safety violation)"
+                )
+    finals = _final_values(trace, pattern, key, violations)
+    expected = len(pattern.correct)
+    for process, value in finals.items():
+        if value != expected:
+            violations.append(
+                f"{process!r} converged to {value}, expected |Correct| = {expected}"
+            )
+    return CheckResult.from_violations(
+        violations,
+        stabilization_time=_stabilization_time(trace, pattern.correct, key),
+    )
+
+
+# ----------------------------------------------------------------------
+# AΣ — anonymous quorums (label, size)
+# ----------------------------------------------------------------------
+def check_asigma(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    key: str = KEYS.A_SIGMA_PAIRS,
+) -> CheckResult:
+    """Check the four AΣ properties on a recorded trace."""
+    violations: list[str] = []
+    snapshots: dict[ProcessId, list[tuple[Time, frozenset]]] = {}
+    for process in pattern.membership.processes:
+        series = [
+            (record.time, frozenset(record.value)) for record in trace.records_of(process, key)
+        ]
+        if series:
+            snapshots[process] = series
+
+    # Validity: no snapshot holds two pairs with the same label.
+    for process, series in snapshots.items():
+        for time, pairs in series:
+            labels = [label for label, _ in pairs]
+            if len(labels) != len(set(labels)):
+                violations.append(
+                    f"{process!r} held two pairs with the same label at t={time}"
+                )
+
+    # Monotonicity: once (x, y) appears, later snapshots keep some (x, y' <= y).
+    for process, series in snapshots.items():
+        for index in range(len(series) - 1):
+            _, current = series[index]
+            _, following = series[index + 1]
+            for label, size in current:
+                successors = [s for l, s in following if l == label]
+                if not successors or min(successors) > size:
+                    violations.append(
+                        f"{process!r} dropped or grew the quorum of label {label!r} "
+                        "(monotonicity violation)"
+                    )
+
+    # S_A(x): processes that ever held a pair with label x.
+    holders: dict[Any, set[ProcessId]] = {}
+    for process, series in snapshots.items():
+        for _, pairs in series:
+            for label, _ in pairs:
+                holders.setdefault(label, set()).add(process)
+
+    # Liveness: each correct process finally holds a satisfiable pair.
+    finals = _final_values(trace, pattern, key, violations)
+    for process, pairs in finals.items():
+        satisfied = any(
+            len(holders.get(label, set()) & pattern.correct) >= size
+            for label, size in pairs
+        )
+        if not satisfied:
+            violations.append(
+                f"{process!r} never finally holds a pair (x, y) with at least y correct "
+                "holders of x (liveness violation)"
+            )
+
+    # Safety: no two pairs ever output admit disjoint quorums.
+    seen_pairs: set[tuple[Any, int]] = set()
+    for series in snapshots.values():
+        for _, pairs in series:
+            seen_pairs.update(pairs)
+    pair_list = sorted(seen_pairs, key=repr)
+    for index, (label_a, size_a) in enumerate(pair_list):
+        for label_b, size_b in pair_list[index:]:
+            set_a = holders.get(label_a, set())
+            set_b = holders.get(label_b, set())
+            if size_a > len(set_a) or size_b > len(set_b):
+                continue  # one of the quorums can never form: vacuously safe
+            if size_a + size_b <= len(set_a | set_b):
+                violations.append(
+                    f"pairs ({label_a!r}, {size_a}) and ({label_b!r}, {size_b}) admit "
+                    "disjoint quorums (safety violation)"
+                )
+    return CheckResult.from_violations(violations)
+
+
+# ----------------------------------------------------------------------
+# HΣ — homonymous quorums (label, identifier multiset)
+# ----------------------------------------------------------------------
+def check_hsigma(
+    trace: RunTrace,
+    pattern: FailurePattern,
+    *,
+    quora_key: str = KEYS.H_QUORA,
+    labels_key: str = KEYS.H_LABELS,
+) -> CheckResult:
+    """Check the four HΣ properties (Section 3.2 of the paper) on a trace."""
+    violations: list[str] = []
+    membership = pattern.membership
+
+    quora_series: dict[ProcessId, list[tuple[Time, frozenset]]] = {}
+    labels_series: dict[ProcessId, list[tuple[Time, frozenset]]] = {}
+    for process in membership.processes:
+        quora = [(r.time, frozenset(r.value)) for r in trace.records_of(process, quora_key)]
+        labels = [(r.time, frozenset(r.value)) for r in trace.records_of(process, labels_key)]
+        if quora:
+            quora_series[process] = quora
+        if labels:
+            labels_series[process] = labels
+
+    # Validity: no h_quora snapshot contains two pairs with the same label.
+    for process, series in quora_series.items():
+        for time, pairs in series:
+            labels = [label for label, _ in pairs]
+            if len(labels) != len(set(labels)):
+                violations.append(
+                    f"{process!r} held two quorum pairs with the same label at t={time}"
+                )
+
+    # Monotonicity (1): h_labels never shrinks.
+    for process, series in labels_series.items():
+        for index in range(len(series) - 1):
+            _, current = series[index]
+            _, following = series[index + 1]
+            if not current <= following:
+                violations.append(
+                    f"{process!r} removed labels from h_labels (monotonicity violation)"
+                )
+
+    # Monotonicity (2): once (x, m) is held, later snapshots keep some (x, m' ⊆ m).
+    for process, series in quora_series.items():
+        for index in range(len(series) - 1):
+            _, current = series[index]
+            _, following = series[index + 1]
+            for label, multiset in current:
+                successors = [m for l, m in following if l == label]
+                if not successors or not all(
+                    isinstance(m, IdentityMultiset) for m in successors
+                ):
+                    violations.append(
+                        f"{process!r} dropped the quorum pair of label {label!r} "
+                        "(monotonicity violation)"
+                    )
+                    continue
+                if not any(m.issubset(multiset) for m in successors):
+                    violations.append(
+                        f"{process!r} grew the quorum multiset of label {label!r} "
+                        "(monotonicity violation)"
+                    )
+
+    # S(x): processes that ever carry label x in h_labels.
+    holders: dict[Any, set[ProcessId]] = {}
+    for process, series in labels_series.items():
+        for _, labels in series:
+            for label in labels:
+                holders.setdefault(label, set()).add(process)
+
+    # Liveness: each correct process finally holds a pair (x, m) with
+    # m ⊆ I(S(x) ∩ Correct).
+    finals = _final_values(trace, pattern, quora_key, violations)
+    for process, pairs in finals.items():
+        satisfied = False
+        for label, multiset in pairs:
+            correct_holders = holders.get(label, set()) & pattern.correct
+            if multiset.issubset(membership.identity_multiset(sorted(correct_holders))):
+                satisfied = True
+                break
+        if not satisfied:
+            violations.append(
+                f"{process!r} never finally holds a pair (x, m) with m ⊆ I(S(x) ∩ Correct) "
+                "(liveness violation)"
+            )
+
+    # Safety: no two pairs ever output admit disjoint realising quorums.
+    seen_pairs: set[tuple[Any, IdentityMultiset]] = set()
+    for series in quora_series.values():
+        for _, pairs in series:
+            seen_pairs.update(pairs)
+    pair_list = sorted(seen_pairs, key=repr)
+    for index, (label_a, multiset_a) in enumerate(pair_list):
+        for label_b, multiset_b in pair_list[index:]:
+            if _disjoint_quora_exist(
+                membership,
+                holders.get(label_a, set()),
+                multiset_a,
+                holders.get(label_b, set()),
+                multiset_b,
+            ):
+                violations.append(
+                    f"pairs ({label_a!r}, {multiset_a!r}) and ({label_b!r}, {multiset_b!r}) "
+                    "admit disjoint quorums (safety violation)"
+                )
+    return CheckResult.from_violations(violations)
+
+
+def _disjoint_quora_exist(
+    membership,
+    holders_a: set[ProcessId],
+    multiset_a: IdentityMultiset,
+    holders_b: set[ProcessId],
+    multiset_b: IdentityMultiset,
+) -> bool:
+    """Decide whether disjoint ``Q1 ⊆ holders_a`` with ``I(Q1) = multiset_a`` and
+    ``Q2 ⊆ holders_b`` with ``I(Q2) = multiset_b`` exist.
+
+    Processes carrying different identifiers never compete for the same slot,
+    so feasibility decomposes per identifier: writing ``a_i``/``b_i``/``c_i``
+    for the holders carrying identifier ``i`` exclusive to ``holders_a``,
+    exclusive to ``holders_b``, and shared, disjoint quorums exist iff for
+    every identifier ``q1_i ≤ a_i + c_i``, ``q2_i ≤ b_i + c_i`` and
+    ``q1_i + q2_i ≤ a_i + b_i + c_i``.
+    """
+    identities = multiset_a.support() | multiset_b.support()
+    for identity in identities:
+        need_a = multiset_a.multiplicity(identity)
+        need_b = multiset_b.multiplicity(identity)
+        with_id_a = {p for p in holders_a if membership.identity_of(p) == identity}
+        with_id_b = {p for p in holders_b if membership.identity_of(p) == identity}
+        only_a = len(with_id_a - with_id_b)
+        only_b = len(with_id_b - with_id_a)
+        shared = len(with_id_a & with_id_b)
+        if need_a > only_a + shared:
+            return False
+        if need_b > only_b + shared:
+            return False
+        if need_a + need_b > only_a + only_b + shared:
+            return False
+    return True

@@ -1,0 +1,49 @@
+"""The experiment harness behind EXPERIMENTS.md and the benchmarks.
+
+Every module ``eN_*`` regenerates one experiment of the reproduction plan
+(see DESIGN.md §3).  Each exposes ``run(quick=True, seed=0)`` returning an
+:class:`~repro.analysis.runner.ExperimentResult`; ``quick`` trades sweep width
+for runtime and is what the benchmark suite uses.
+"""
+
+from . import (
+    e1_ohp_convergence,
+    e2_hsigma_sync,
+    e3_reductions,
+    e4_consensus_majority,
+    e5_consensus_hsigma,
+    e6_homonymy_spectrum,
+    e7_coordination_ablation,
+    e8_stacked_consensus,
+)
+from .e1_ohp_convergence import run as run_e1
+from .e2_hsigma_sync import run as run_e2
+from .e3_reductions import run as run_e3
+from .e4_consensus_majority import run as run_e4
+from .e5_consensus_hsigma import run as run_e5
+from .e6_homonymy_spectrum import run as run_e6
+from .e7_coordination_ablation import run as run_e7
+from .e8_stacked_consensus import run as run_e8
+
+ALL_EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_e1",
+    "run_e2",
+    "run_e3",
+    "run_e4",
+    "run_e5",
+    "run_e6",
+    "run_e7",
+    "run_e8",
+]

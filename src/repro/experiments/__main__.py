@@ -1,0 +1,80 @@
+"""Command-line entry point for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments                     # run E1–E8 in quick mode
+    python -m repro.experiments --full E4 E5        # full sweeps of E4 and E5
+    python -m repro.experiments --seed 3 -o report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments and print (or write) their tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the experiments of EXPERIMENTS.md (E1-E8).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (default: all of E1..E8)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full parameter sweeps instead of the quick ones",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="also write the report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    selected = [name.upper() for name in args.experiments] or sorted(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(ALL_EXPERIMENTS))}"
+        )
+
+    sections: list[str] = []
+    for name in selected:
+        runner = ALL_EXPERIMENTS[name]
+        started = time.perf_counter()
+        result = runner(quick=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        section = "\n".join(
+            [
+                result.table(),
+                f"summary: {result.summary}",
+                f"(completed in {elapsed:.1f}s, {'full' if args.full else 'quick'} mode, seed {args.seed})",
+            ]
+        )
+        sections.append(section)
+        print(section)
+        print()
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..analysis.metrics import consensus_metrics
+from ..consensus import validate_consensus
+from ..detectors import HOmegaOracle, HSigmaOracle
+from ..membership import Membership
+from ..sim import AsynchronousTiming, CrashSchedule, Simulation, TimingModel, build_system
+from ..sim.failures import FailurePattern
+
+__all__ = ["default_consensus_detectors", "run_consensus_once", "distinct_proposals"]
+
+
+def distinct_proposals(membership: Membership) -> dict:
+    """One distinct proposal per process (so agreement is non-trivial)."""
+    return {process: f"value-{process.index}" for process in membership.processes}
+
+
+def default_consensus_detectors(stabilization: float, *, noise_period: float | None = 5.0):
+    """The HΩ + HΣ oracle pair used by the consensus experiments."""
+    return {
+        "HOmega": lambda services: HOmegaOracle(
+            services, stabilization_time=stabilization, noise_period=noise_period
+        ),
+        "HSigma": lambda services: HSigmaOracle(
+            services, stabilization_time=stabilization
+        ),
+    }
+
+
+def run_consensus_once(
+    membership: Membership,
+    consensus_factory: Callable[[Any], Any],
+    *,
+    crash_schedule: CrashSchedule | None = None,
+    detectors: Mapping[str, Any] | None = None,
+    detector_stabilization: float = 20.0,
+    timing: TimingModel | None = None,
+    horizon: float = 500.0,
+    seed: int = 0,
+) -> dict:
+    """Run one consensus configuration and return a metrics row."""
+    proposals = distinct_proposals(membership)
+    schedule = crash_schedule or CrashSchedule.none()
+    system = build_system(
+        membership=membership,
+        timing=timing or AsynchronousTiming(min_latency=0.1, max_latency=2.0),
+        program_factory=lambda pid, identity: consensus_factory(proposals[pid]),
+        crash_schedule=schedule,
+        detectors=detectors
+        if detectors is not None
+        else default_consensus_detectors(detector_stabilization),
+        seed=seed,
+    )
+    simulation = Simulation(system)
+    trace = simulation.run(until=horizon, stop_when=lambda sim: sim.all_correct_decided())
+    pattern = FailurePattern(membership, schedule)
+    verdict = validate_consensus(trace, pattern, proposals, require_termination=False)
+    metrics = consensus_metrics(trace, pattern, verdict)
+    return {
+        "decided": metrics.decided,
+        "safe": metrics.safe,
+        "decision_time": metrics.last_decision_time,
+        "rounds": metrics.max_decision_round,
+        "broadcasts": metrics.broadcasts,
+        "message_copies": metrics.message_copies,
+    }

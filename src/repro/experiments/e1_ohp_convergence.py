@@ -1,0 +1,134 @@
+"""E1 — Convergence of the Figure 6 ◇HP / HΩ implementation in HPS[∅].
+
+Reproduces the paper's Theorem 5 and Corollary 2 empirically: the polling
+algorithm converges to ``h_trusted = I(Correct)`` (and the derived HΩ output)
+in partially synchronous homonymous systems with unknown membership, for every
+homonymy pattern and crash schedule, and regardless of the (unknown) GST and
+δ.  The sweep also records how the convergence time scales with GST and δ and
+how far the adaptive timeout grows, and contrasts the fixed-timeout ablation
+(which fails to converge when the timeout is below the real latency bound).
+"""
+
+from __future__ import annotations
+
+from ..algorithms import OhpPollingProgram
+from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
+from ..detectors import check_diamond_hp, check_homega_election
+from ..sim import PartiallySynchronousTiming, Simulation, build_system
+from ..sim.failures import FailurePattern
+from ..workloads.crashes import minority_crashes
+from ..workloads.homonymy import membership_with_distinct_ids
+
+__all__ = ["run"]
+
+DESCRIPTION = "◇HP / HΩ convergence under partial synchrony (Figure 6, Theorem 5, Corollary 2)"
+
+
+def _run_one(config: dict) -> dict:
+    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
+    crash_schedule = minority_crashes(membership, at=config["gst"] / 2 + 1.0)
+    timing = PartiallySynchronousTiming(
+        gst=config["gst"],
+        delta=config["delta"],
+        min_latency=0.1,
+        pre_gst_loss=0.4,
+        pre_gst_max_latency=4 * config["gst"] + 10.0,
+    )
+    system = build_system(
+        membership=membership,
+        timing=timing,
+        program_factory=lambda pid, identity: OhpPollingProgram(
+            fixed_timeout=config["fixed_timeout"]
+        ),
+        crash_schedule=crash_schedule,
+        seed=config["seed"],
+    )
+    simulation = Simulation(system)
+    horizon = config["gst"] * 4 + 120.0
+    trace = simulation.run(until=horizon)
+    pattern = FailurePattern(membership, crash_schedule)
+    hp_result = check_diamond_hp(trace, pattern)
+    homega_result = check_homega_election(trace, pattern)
+    timeouts = [
+        trace.final_value(process, "ohp.timeout")
+        for process in pattern.correct
+        if trace.final_value(process, "ohp.timeout") is not None
+    ]
+    return {
+        "converged": hp_result.ok,
+        "homega_ok": homega_result.ok,
+        "convergence_time": hp_result.stabilization_time if hp_result.ok else None,
+        "final_timeout": max(timeouts) if timeouts else None,
+    }
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run the E1 sweep and return the aggregated result."""
+    if quick:
+        parameters = {
+            "n": [5],
+            "distinct_ids": [1, 3, 5],
+            "gst": [10.0, 30.0],
+            "delta": [1.0, 3.0],
+            "fixed_timeout": [False],
+        }
+        repetitions = 1
+    else:
+        parameters = {
+            "n": [4, 6, 8],
+            "distinct_ids": [1, 2, 4],
+            "gst": [10.0, 30.0, 60.0],
+            "delta": [0.5, 1.0, 3.0],
+            "fixed_timeout": [False],
+        }
+        repetitions = 3
+    sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
+    rows = sweep.run(_run_one)
+
+    # The fixed-timeout ablation: one configuration where the static timeout is
+    # below the actual latency bound, expected NOT to converge.
+    ablation_sweep = ParameterSweep(
+        {
+            "n": [4],
+            "distinct_ids": [2],
+            "gst": [0.0],
+            "delta": [4.0],
+            "fixed_timeout": [True],
+        },
+        repetitions=1,
+        base_seed=seed + 1_000,
+    )
+    rows.extend(ablation_sweep.run(_run_one))
+
+    aggregated = aggregate_rows(
+        rows,
+        group_by=["n", "distinct_ids", "gst", "delta", "fixed_timeout"],
+        metrics=["converged", "homega_ok", "convergence_time", "final_timeout"],
+    )
+    adaptive_rows = [row for row in rows if not row["fixed_timeout"]]
+    summary = {
+        "adaptive_runs": len(adaptive_rows),
+        "adaptive_all_converged": all(row["converged"] for row in adaptive_rows),
+        "adaptive_all_homega_ok": all(row["homega_ok"] for row in adaptive_rows),
+        "fixed_timeout_converged": any(
+            row["converged"] for row in rows if row["fixed_timeout"]
+        ),
+    }
+    return ExperimentResult(
+        experiment="E1",
+        description=DESCRIPTION,
+        rows=tuple(aggregated),
+        summary=summary,
+        columns=(
+            "n",
+            "distinct_ids",
+            "gst",
+            "delta",
+            "fixed_timeout",
+            "runs",
+            "converged",
+            "homega_ok",
+            "convergence_time",
+            "final_timeout",
+        ),
+    )

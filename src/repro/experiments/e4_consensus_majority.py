@@ -1,0 +1,96 @@
+"""E4 — Figure 8 consensus in HAS[t < n/2, HΩ]: correctness and cost.
+
+Reproduces Theorem 7 empirically: across homonymy patterns, crash schedules
+(up to the largest minority), and detector stabilization times, every run
+satisfies validity, agreement, and termination; the sweep also reports the
+decision latency, the number of rounds, and the number of broadcasts, which
+is how the cost of homonymy shows up.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
+from ..consensus import HOmegaMajorityConsensus
+from ..workloads.crashes import leader_targeted_crashes, minority_crashes, no_crashes
+from ..workloads.homonymy import membership_with_distinct_ids
+from .common import run_consensus_once
+
+__all__ = ["run"]
+
+DESCRIPTION = "Consensus with HΩ and a majority of correct processes (Figure 8, Theorem 7)"
+
+_CRASH_MODES = ("none", "minority", "leaders")
+
+
+def _crash_schedule(mode: str, membership, at: float):
+    if mode == "none":
+        return no_crashes()
+    if mode == "minority":
+        return minority_crashes(membership, at=at)
+    if mode == "leaders":
+        count = max(1, (membership.size - 1) // 2)
+        return leader_targeted_crashes(membership, count, at=at)
+    raise ValueError(f"unknown crash mode {mode!r}")
+
+
+def _run_one(config: dict) -> dict:
+    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
+    crash_schedule = _crash_schedule(config["crash_mode"], membership, at=8.0)
+    return run_consensus_once(
+        membership,
+        lambda proposal: HOmegaMajorityConsensus(proposal, n=membership.size),
+        crash_schedule=crash_schedule,
+        detector_stabilization=config["stabilization"],
+        horizon=600.0,
+        seed=config["seed"],
+    )
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run the E4 sweep and return the aggregated result."""
+    if quick:
+        parameters = {
+            "n": [5],
+            "distinct_ids": [1, 3, 5],
+            "crash_mode": ["none", "minority", "leaders"],
+            "stabilization": [20.0],
+        }
+        repetitions = 2
+    else:
+        parameters = {
+            "n": [5, 7, 9],
+            "distinct_ids": [1, 2, 5],
+            "crash_mode": list(_CRASH_MODES),
+            "stabilization": [5.0, 20.0, 50.0],
+        }
+        repetitions = 5
+    sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
+    rows = sweep.run(_run_one)
+    aggregated = aggregate_rows(
+        rows,
+        group_by=["n", "distinct_ids", "crash_mode", "stabilization"],
+        metrics=["decided", "safe", "decision_time", "rounds", "broadcasts"],
+    )
+    summary = {
+        "runs": len(rows),
+        "all_terminated": all(row["decided"] for row in rows),
+        "all_safe": all(row["safe"] for row in rows),
+    }
+    return ExperimentResult(
+        experiment="E4",
+        description=DESCRIPTION,
+        rows=tuple(aggregated),
+        summary=summary,
+        columns=(
+            "n",
+            "distinct_ids",
+            "crash_mode",
+            "stabilization",
+            "runs",
+            "decided",
+            "safe",
+            "decision_time",
+            "rounds",
+            "broadcasts",
+        ),
+    )

@@ -1,0 +1,94 @@
+"""E5 — Figure 9 consensus in HAS[HΩ, HΣ]: any number of crashes, n unknown.
+
+Reproduces Theorem 8 empirically: the HΩ + HΣ algorithm decides correctly even
+when a majority of processes crash (which Figure 8 cannot tolerate), without
+knowing ``n`` or ``t``.  The sweep varies the homonymy pattern and the number
+of crashes up to ``n − 1`` and reports the same correctness and cost figures
+as E4, so the two algorithms can be compared where both apply.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
+from ..consensus import HOmegaHSigmaConsensus
+from ..workloads.crashes import cascading_crashes
+from ..workloads.homonymy import membership_with_distinct_ids
+from .common import run_consensus_once
+
+__all__ = ["run"]
+
+DESCRIPTION = "Consensus with HΩ and HΣ under any number of crashes (Figure 9, Theorem 8)"
+
+
+def _run_one(config: dict) -> dict:
+    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
+    crash_count = min(config["crashes"], membership.size - 1)
+    crash_schedule = cascading_crashes(membership, crash_count, first_at=6.0, interval=4.0)
+    row = run_consensus_once(
+        membership,
+        lambda proposal: HOmegaHSigmaConsensus(proposal),
+        crash_schedule=crash_schedule,
+        detector_stabilization=config["stabilization"],
+        horizon=700.0,
+        seed=config["seed"],
+    )
+    row["faulty"] = crash_count
+    row["majority_crashed"] = crash_count > membership.size / 2
+    return row
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run the E5 sweep and return the aggregated result."""
+    if quick:
+        parameters = {
+            "n": [5],
+            "distinct_ids": [1, 3, 5],
+            "crashes": [0, 2, 4],
+            "stabilization": [20.0],
+        }
+        repetitions = 2
+    else:
+        parameters = {
+            "n": [4, 6, 8],
+            "distinct_ids": [1, 2, 4],
+            "crashes": [0, 1, 3, 5, 7],
+            "stabilization": [5.0, 20.0, 50.0],
+        }
+        repetitions = 4
+    sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
+    rows = sweep.run(_run_one)
+    aggregated = aggregate_rows(
+        rows,
+        group_by=["n", "distinct_ids", "crashes", "stabilization"],
+        metrics=["decided", "safe", "decision_time", "rounds", "broadcasts"],
+    )
+    majority_crash_rows = [row for row in rows if row["majority_crashed"]]
+    summary = {
+        "runs": len(rows),
+        "all_terminated": all(row["decided"] for row in rows),
+        "all_safe": all(row["safe"] for row in rows),
+        "runs_with_majority_crashed": len(majority_crash_rows),
+        "majority_crashed_all_terminated": all(
+            row["decided"] for row in majority_crash_rows
+        )
+        if majority_crash_rows
+        else None,
+    }
+    return ExperimentResult(
+        experiment="E5",
+        description=DESCRIPTION,
+        rows=tuple(aggregated),
+        summary=summary,
+        columns=(
+            "n",
+            "distinct_ids",
+            "crashes",
+            "stabilization",
+            "runs",
+            "decided",
+            "safe",
+            "decision_time",
+            "rounds",
+            "broadcasts",
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Common machinery for the reduction programs.
+
+All reductions share the same shape: they periodically query the source
+detector (attached to the process under a configurable name), update the
+emulated target variables, record them under the standard trace keys, and
+optionally expose the emulated detector under a new name for co-located
+programs.  The period plays the role of the paper's "repeat forever" loop
+executed at a bounded (but possibly unknown) step speed.
+"""
+
+from __future__ import annotations
+
+from ..sim.process import ProcessContext, ProcessProgram
+
+__all__ = ["PeriodicReductionProgram"]
+
+
+class PeriodicReductionProgram(ProcessProgram):
+    """Base class for reductions driven by a periodic local task."""
+
+    def __init__(
+        self,
+        *,
+        source_detector: str,
+        period: float = 1.0,
+        record_outputs: bool = True,
+        emulated_name: str | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("the reduction period must be positive")
+        self.source_detector = source_detector
+        self.period = period
+        self.record_outputs = record_outputs
+        self.emulated_name = emulated_name
+
+    # Subclasses implement these three hooks. ---------------------------------
+    def on_setup(self, ctx: ProcessContext) -> None:
+        """Register handlers / initialise state.  Called once at start."""
+
+    def refresh(self, ctx: ProcessContext) -> None:
+        """One iteration of the emulation loop (query source, update target)."""
+        raise NotImplementedError
+
+    def emulated_view(self):
+        """The view of the emulated detector (or ``None`` when not applicable)."""
+        return None
+
+    # Wiring -------------------------------------------------------------------
+    def setup(self, ctx: ProcessContext) -> None:
+        self.on_setup(ctx)
+        view = self.emulated_view()
+        if self.emulated_name is not None and view is not None:
+            ctx.attach_detector(self.emulated_name, view)
+        ctx.spawn(lambda: self._refresh_loop(ctx), name=f"{type(self).__name__}-loop")
+
+    def _refresh_loop(self, ctx: ProcessContext):
+        while True:
+            self.refresh(ctx)
+            yield ctx.sleep(self.period)

@@ -1,0 +1,73 @@
+"""Deterministic discrete-event simulation substrate.
+
+This subpackage provides the message-passing environment the paper assumes:
+crash-prone processes, reliable broadcast links, and three timing disciplines
+(asynchronous, partially synchronous with an unknown GST/δ, and synchronous).
+Algorithms are written as :class:`~repro.sim.process.ProcessProgram` subclasses
+and executed by the :class:`~repro.sim.scheduler.Simulation` engine over a
+:class:`~repro.sim.system.System` configuration.
+"""
+
+from .clock import Clock, Time
+from .events import Event, EventQueue
+from .failures import CrashEvent, CrashSchedule, FailurePattern, crash_free
+from .message import Broadcast, Message
+from .network import Network
+from .process import (
+    NextSyncStep,
+    ProcessContext,
+    ProcessProgram,
+    ProcessRuntime,
+    Sleep,
+    WaitUntil,
+)
+from .rng import RngStreams
+from .scheduler import Simulation
+from .system import (
+    CompositeProgram,
+    DetectorServices,
+    System,
+    SystemModel,
+    build_system,
+)
+from .timing import (
+    AsynchronousTiming,
+    PartiallySynchronousTiming,
+    SynchronousTiming,
+    TimingModel,
+)
+from .trace import Decision, RunTrace, TraceRecord
+
+__all__ = [
+    "AsynchronousTiming",
+    "Broadcast",
+    "Clock",
+    "CompositeProgram",
+    "CrashEvent",
+    "CrashSchedule",
+    "Decision",
+    "DetectorServices",
+    "Event",
+    "EventQueue",
+    "FailurePattern",
+    "Message",
+    "Network",
+    "NextSyncStep",
+    "PartiallySynchronousTiming",
+    "ProcessContext",
+    "ProcessProgram",
+    "ProcessRuntime",
+    "RngStreams",
+    "RunTrace",
+    "Simulation",
+    "Sleep",
+    "SynchronousTiming",
+    "System",
+    "SystemModel",
+    "Time",
+    "TimingModel",
+    "TraceRecord",
+    "WaitUntil",
+    "build_system",
+    "crash_free",
+]

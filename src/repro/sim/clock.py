@@ -1,0 +1,48 @@
+"""Simulated time.
+
+Time is a non-negative float.  The paper assumes a discrete global clock that
+processes cannot read; here the clock is owned by the simulation engine and is
+exposed read-only to components that legitimately need it (the network, the
+trace, and detector oracles).  Algorithm code reads time only through the
+durations it explicitly waits (``sleep``), never the absolute clock value,
+which preserves the paper's "processes cannot access the global clock" rule
+for everything except local timers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Time", "Clock"]
+
+#: Simulated time values.
+Time = float
+
+
+class Clock:
+    """Monotonically advancing simulated clock.
+
+    Only the simulation engine may advance it; every other component receives
+    a reference and reads :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Time = 0.0) -> None:
+        if start < 0:
+            raise ValueError("the clock cannot start before time 0")
+        self._now: Time = float(start)
+
+    @property
+    def now(self) -> Time:
+        """The current simulated time."""
+        return self._now
+
+    def advance_to(self, when: Time) -> None:
+        """Move the clock forward to ``when`` (the engine's prerogative)."""
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards (now={self._now}, requested={when})"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clock(now={self._now})"

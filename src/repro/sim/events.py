@@ -1,0 +1,110 @@
+"""Event queue for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same time
+run in the order they were scheduled, which keeps runs reproducible for a
+fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SchedulingError
+from .clock import Time
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``priority`` breaks ties at equal times: lower runs first.  Message
+    deliveries use priority 0 and internal wake-ups priority 1 so that a
+    process woken at time T sees every message delivered at T.
+    """
+
+    time: Time
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the queue will skip it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no live (non-cancelled) events remain."""
+        return self._live == 0
+
+    def schedule(
+        self,
+        time: Time,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+        not_before: Time | None = None,
+    ) -> Event:
+        """Schedule ``action`` to run at ``time`` and return the event handle.
+
+        ``not_before`` lets the caller assert that the event is not being
+        scheduled in its own past (the engine passes the current clock value).
+        """
+        if time < 0:
+            raise SchedulingError(f"cannot schedule an event at negative time {time}")
+        if not_before is not None and time < not_before:
+            raise SchedulingError(
+                f"cannot schedule an event at {time}, which is before the current time {not_before}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop_next(self) -> Event | None:
+        """Remove and return the next live event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Time | None:
+        """Return the time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancellation(self) -> None:
+        """Inform the queue that one previously scheduled event was cancelled."""
+        if self._live > 0:
+            self._live -= 1

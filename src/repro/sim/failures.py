@@ -1,0 +1,200 @@
+"""Crash failures: schedules and failure patterns.
+
+A *crash schedule* says when (if ever) each process crashes and whether its
+final broadcast is only partially delivered (the paper allows a crashing
+broadcaster's message to reach "an arbitrary subset of processes").  A
+*failure pattern* is the read-only view of the schedule used by oracles and
+property checkers: ``Correct``, ``Faulty``, and ``alive_at(T)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError
+from ..identity import ProcessId
+from ..membership import Membership
+from .clock import Time
+
+__all__ = ["CrashEvent", "CrashSchedule", "FailurePattern", "crash_free"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """The crash of one process.
+
+    ``partial_broadcast_fraction`` only matters when the process crashes at
+    the exact moment it is broadcasting: the fraction (rounded down) of the
+    ``n`` copies that are still sent.  ``None`` means the crash is clean —
+    either the whole broadcast went out or the process was between broadcasts.
+    """
+
+    process: ProcessId
+    time: Time
+    partial_broadcast_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("a crash cannot happen before time 0")
+        if self.partial_broadcast_fraction is not None and not (
+            0.0 <= self.partial_broadcast_fraction <= 1.0
+        ):
+            raise ConfigurationError("partial_broadcast_fraction must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """A set of crash events, at most one per process."""
+
+    events: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[ProcessId] = set()
+        for event in self.events:
+            if event.process in seen:
+                raise ConfigurationError(f"{event.process!r} crashes more than once")
+            seen.add(event.process)
+        object.__setattr__(self, "events", tuple(sorted(self.events, key=lambda e: (e.time, e.process))))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "CrashSchedule":
+        """A schedule with no crashes."""
+        return cls(())
+
+    @classmethod
+    def at_times(cls, crashes: Mapping[ProcessId, Time]) -> "CrashSchedule":
+        """Build a schedule from a ``{process: crash_time}`` mapping."""
+        return cls(tuple(CrashEvent(process, time) for process, time in crashes.items()))
+
+    @classmethod
+    def crash_processes(
+        cls,
+        processes: Iterable[ProcessId],
+        *,
+        time: Time,
+        stagger: Time = 0.0,
+        partial_broadcast_fraction: float | None = None,
+    ) -> "CrashSchedule":
+        """Crash the given processes starting at ``time``, ``stagger`` apart."""
+        events = []
+        for offset, process in enumerate(sorted(processes)):
+            events.append(
+                CrashEvent(
+                    process=process,
+                    time=time + offset * stagger,
+                    partial_broadcast_fraction=partial_broadcast_fraction,
+                )
+            )
+        return cls(tuple(events))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        """Processes that crash at some point in the run."""
+        return frozenset(event.process for event in self.events)
+
+    def crash_time(self, process: ProcessId) -> Time | None:
+        """Return the crash time of ``process`` or ``None`` when it is correct."""
+        for event in self.events:
+            if event.process == process:
+                return event.time
+        return None
+
+    def event_for(self, process: ProcessId) -> CrashEvent | None:
+        """Return the crash event of ``process`` or ``None``."""
+        for event in self.events:
+            if event.process == process:
+                return event
+        return None
+
+    def validate_against(self, membership: Membership) -> None:
+        """Check that the schedule only names processes of ``membership``."""
+        known = set(membership.processes)
+        for event in self.events:
+            if event.process not in known:
+                raise ConfigurationError(
+                    f"crash schedule names {event.process!r}, which is not in the membership"
+                )
+        if len(self.faulty) >= membership.size:
+            raise ConfigurationError(
+                "the crash schedule kills every process; at least one must stay correct"
+            )
+
+
+def crash_free() -> CrashSchedule:
+    """Convenience alias for :meth:`CrashSchedule.none`."""
+    return CrashSchedule.none()
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """Read-only failure information for a specific run.
+
+    This is the ``F`` of the failure-detector literature: which processes are
+    faulty, when they crash, and who is alive at any time.  Only the simulator,
+    the oracles, and the property checkers may hold one — never algorithm code.
+    """
+
+    membership: Membership
+    schedule: CrashSchedule
+    _crash_times: Mapping[ProcessId, Time] = field(init=False, repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.schedule.validate_against(self.membership)
+        object.__setattr__(
+            self,
+            "_crash_times",
+            {event.process: event.time for event in self.schedule.events},
+        )
+
+    @property
+    def correct(self) -> frozenset[ProcessId]:
+        """``Correct`` — processes that never crash in this run."""
+        return frozenset(self.membership.processes) - self.schedule.faulty
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        """Processes that crash at some point in this run."""
+        return self.schedule.faulty
+
+    @property
+    def max_faulty(self) -> int:
+        """The number of processes that crash (the run's effective ``t``)."""
+        return len(self.schedule.faulty)
+
+    def is_correct(self, process: ProcessId) -> bool:
+        """Return ``True`` when ``process`` never crashes."""
+        return process not in self._crash_times
+
+    def crash_time(self, process: ProcessId) -> Time | None:
+        """Return when ``process`` crashes, or ``None`` for correct processes."""
+        return self._crash_times.get(process)
+
+    def is_alive_at(self, process: ProcessId, at: Time) -> bool:
+        """Return ``True`` when ``process`` has not crashed (yet) at time ``at``."""
+        crash = self._crash_times.get(process)
+        return crash is None or at < crash
+
+    def alive_at(self, at: Time) -> frozenset[ProcessId]:
+        """The set of processes alive at time ``at``."""
+        return frozenset(
+            process
+            for process in self.membership.processes
+            if self.is_alive_at(process, at)
+        )
+
+    def last_crash_time(self) -> Time:
+        """The time of the last crash (0 when there are none)."""
+        if not self._crash_times:
+            return 0.0
+        return max(self._crash_times.values())
+
+    def correct_identity_multiset(self):
+        """``I(Correct)`` as an :class:`~repro.identity.IdentityMultiset`."""
+        return self.membership.identity_multiset(sorted(self.correct))

@@ -1,0 +1,75 @@
+"""Message envelopes and broadcast records.
+
+The paper's communication primitive is ``broadcast(m)``: one copy of ``m`` is
+sent along the directed link from the sender to every process (including the
+sender).  The receiving process cannot identify the link a message arrived on,
+so the envelope exposes only the message *content* to algorithm code; the
+sending :class:`~repro.identity.ProcessId` is carried for the benefit of the
+trace and the property checkers and is deliberately not reachable from
+:class:`~repro.sim.process.ProcessContext`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..identity import ProcessId
+from .clock import Time
+
+__all__ = ["Message", "Broadcast"]
+
+_broadcast_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message as seen by the receiving algorithm.
+
+    ``kind`` is the message type tag (``"POLLING"``, ``"PH1"``, ...) and
+    ``payload`` an immutable mapping of named fields.  Field access is provided
+    through :meth:`__getitem__` and :meth:`get` for readability in algorithm
+    code: ``msg["round"]``.
+    """
+
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a payload field, or ``default`` when absent."""
+        return self.payload.get(key, default)
+
+    def matches(self, **fields: Any) -> bool:
+        """Return ``True`` when every named field equals the given value."""
+        return all(self.payload.get(key) == value for key, value in fields.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{key}={value!r}" for key, value in self.payload.items())
+        return f"{self.kind}({inner})"
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """A record of one ``broadcast(m)`` invocation (simulator-side bookkeeping)."""
+
+    broadcast_id: int
+    sender: ProcessId
+    message: Message
+    sent_at: Time
+
+    @classmethod
+    def create(cls, sender: ProcessId, message: Message, sent_at: Time) -> "Broadcast":
+        """Allocate a fresh broadcast identifier and wrap the message."""
+        return cls(
+            broadcast_id=next(_broadcast_counter),
+            sender=sender,
+            message=message,
+            sent_at=sent_at,
+        )

@@ -1,0 +1,120 @@
+"""The broadcast network.
+
+The network owns the directed links between every ordered pair of processes
+and turns one ``broadcast(m)`` invocation into ``n`` link messages whose
+delivery times are drawn from the timing model.  Links are reliable: no
+duplication, no corruption, no spurious messages; loss is only possible before
+GST under the partially synchronous model, and for the final broadcast of a
+process that crashes mid-broadcast (both allowed by the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+from ..errors import SimulationError
+from ..identity import ProcessId
+from ..membership import Membership
+from .clock import Clock
+from .events import EventQueue
+from .failures import FailurePattern
+from .message import Broadcast, Message
+from .timing import TimingModel
+from .trace import RunTrace
+
+__all__ = ["Network"]
+
+#: Delivery events run before process wake-ups scheduled at the same instant,
+#: so a process resumed at time T has already received everything due at T.
+_DELIVERY_PRIORITY = 1
+
+#: Tolerance when matching "the broadcast issued at the instant of the crash".
+_CRASH_BROADCAST_TOLERANCE = 1e-9
+
+
+class Network:
+    """Schedules message deliveries for broadcasts."""
+
+    def __init__(
+        self,
+        membership: Membership,
+        timing: TimingModel,
+        failure_pattern: FailurePattern,
+        *,
+        clock: Clock,
+        queue: EventQueue,
+        trace: RunTrace,
+        rng: random.Random,
+    ) -> None:
+        self._membership = membership
+        self._timing = timing
+        self._pattern = failure_pattern
+        self._clock = clock
+        self._queue = queue
+        self._trace = trace
+        self._rng = rng
+        self._deliver_to: Mapping[ProcessId, Callable[[Message], None]] = {}
+
+    def connect(self, deliver_to: Mapping[ProcessId, Callable[[Message], None]]) -> None:
+        """Wire the per-process delivery callbacks (done once by the simulation)."""
+        missing = set(self._membership.processes) - set(deliver_to)
+        if missing:
+            raise SimulationError(f"no delivery callback for processes {sorted(missing)}")
+        self._deliver_to = dict(deliver_to)
+
+    # ------------------------------------------------------------------
+    # The broadcast primitive
+    # ------------------------------------------------------------------
+    def broadcast(self, sender: ProcessId, message: Message) -> None:
+        """Send one copy of ``message`` along the link to every process."""
+        if not self._deliver_to:
+            raise SimulationError("the network has not been connected to any processes")
+        sent_at = self._clock.now
+        record = Broadcast.create(sender, message, sent_at)
+        recipients = self._recipients_for(sender, sent_at)
+        self._trace.record_broadcast(message.kind, copies=len(recipients))
+        for receiver in recipients:
+            delivery_time = self._timing.delivery_time(sender, receiver, sent_at, self._rng)
+            if delivery_time is None:
+                continue  # lost before GST (partially synchronous model only)
+            if delivery_time < sent_at:
+                raise SimulationError(
+                    f"timing model produced a delivery before the send time "
+                    f"({delivery_time} < {sent_at})"
+                )
+            self._schedule_delivery(receiver, record, delivery_time)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _recipients_for(self, sender: ProcessId, sent_at: float) -> tuple[ProcessId, ...]:
+        """All processes, unless the sender crashes during this very broadcast.
+
+        The paper allows the message of a process that crashes while
+        broadcasting to reach an arbitrary subset of processes.  We model this
+        for broadcasts issued at the instant of the sender's crash (the crash
+        event is applied after same-time process activity): a random subset of
+        the configured size receives the copy.
+        """
+        everyone = self._membership.processes
+        crash_event = self._pattern.schedule.event_for(sender)
+        if (
+            crash_event is not None
+            and crash_event.partial_broadcast_fraction is not None
+            and abs(crash_event.time - sent_at) <= _CRASH_BROADCAST_TOLERANCE
+        ):
+            subset_size = int(crash_event.partial_broadcast_fraction * len(everyone))
+            chosen = self._rng.sample(list(everyone), k=subset_size) if subset_size else []
+            return tuple(sorted(chosen))
+        return everyone
+
+    def _schedule_delivery(self, receiver: ProcessId, record: Broadcast, when: float) -> None:
+        deliver = self._deliver_to[receiver]
+        self._queue.schedule(
+            when,
+            lambda: deliver(record.message),
+            priority=_DELIVERY_PRIORITY,
+            label=f"deliver {record.message.kind} to {receiver!r}",
+            not_before=self._clock.now,
+        )

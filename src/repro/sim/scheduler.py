@@ -1,0 +1,202 @@
+"""The simulation engine.
+
+:class:`Simulation` turns a declarative :class:`~repro.sim.system.System` into
+an executable run: it creates the clock, event queue, network, one
+:class:`~repro.sim.process.ProcessRuntime` per process, and one instance per
+attached failure detector; schedules the crash events; and then processes
+events in deterministic order until a stop condition, the time horizon, or
+quiescence is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SimulationError
+from ..identity import ProcessId
+from .clock import Clock, Time
+from .events import EventQueue
+from .failures import FailurePattern
+from .network import Network
+from .process import ProcessRuntime
+from .rng import RngStreams
+from .system import DetectorServices, System
+from .trace import RunTrace
+
+__all__ = ["Simulation"]
+
+#: Crash events run after all other activity at the same instant, so a process
+#: that broadcasts "at the moment of its crash" still issues the (possibly
+#: partially delivered) broadcast — matching the paper's crash-while-
+#: broadcasting allowance.
+_CRASH_PRIORITY = 5
+
+_DEFAULT_MAX_EVENTS = 5_000_000
+
+
+class Simulation:
+    """One executable run of a :class:`~repro.sim.system.System`."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.trace = RunTrace()
+        self.rng_streams = RngStreams(system.seed)
+        self.failure_pattern: FailurePattern = system.failure_pattern()
+        self.network = Network(
+            system.membership,
+            system.timing,
+            self.failure_pattern,
+            clock=self.clock,
+            queue=self.queue,
+            trace=self.trace,
+            rng=self.rng_streams.stream("network"),
+        )
+        self.runtimes: dict[ProcessId, ProcessRuntime] = {}
+        self.detectors: dict[str, object] = {}
+        self._started = False
+        self._events_processed = 0
+        self._build_runtimes()
+        self._instantiate_detectors()
+        self._schedule_crashes()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_runtimes(self) -> None:
+        for process in self.system.membership.processes:
+            identity = self.system.membership.identity_of(process)
+            program = self.system.program_factory(process, identity)
+            runtime = ProcessRuntime(
+                process,
+                identity,
+                program,
+                clock=self.clock,
+                queue=self.queue,
+                timing=self.system.timing,
+                trace=self.trace,
+                rng=self.rng_streams.stream(f"process:{process.index}"),
+                broadcast_fn=self.network.broadcast,
+            )
+            self.runtimes[process] = runtime
+        self.network.connect(
+            {process: runtime.deliver for process, runtime in self.runtimes.items()}
+        )
+
+    def _instantiate_detectors(self) -> None:
+        services = DetectorServices(
+            membership=self.system.membership,
+            failure_pattern=self.failure_pattern,
+            clock=self.clock,
+            rng_streams=self.rng_streams.spawn("detectors"),
+            schedule=self._schedule_callback,
+            poke_all=self.poke_all,
+        )
+        for name, factory in self.system.detectors.items():
+            detector = factory(services)
+            self.detectors[name] = detector
+            for process, runtime in self.runtimes.items():
+                runtime.attach_detector_view(name, detector.view_for(process))
+
+    def _schedule_crashes(self) -> None:
+        for event in self.system.crash_schedule.events:
+            runtime = self.runtimes[event.process]
+            self.queue.schedule(
+                event.time,
+                runtime.crash,
+                priority=_CRASH_PRIORITY,
+                label=f"crash {event.process!r}",
+            )
+
+    def _schedule_callback(self, when: Time, action: Callable[[], None]):
+        return self.queue.schedule(
+            when, action, priority=3, label="detector-wakeup", not_before=None
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def poke_all(self) -> None:
+        """Re-evaluate the wait conditions of every live process."""
+        for runtime in self.runtimes.values():
+            runtime.poke()
+
+    def start(self) -> None:
+        """Run every process's ``setup`` (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for runtime in self.runtimes.values():
+            runtime.start()
+
+    def run(
+        self,
+        *,
+        until: Time,
+        stop_when: Callable[["Simulation"], bool] | None = None,
+        max_events: int = _DEFAULT_MAX_EVENTS,
+    ) -> RunTrace:
+        """Execute events until ``until``, a stop condition, or quiescence.
+
+        ``stop_when`` is evaluated after each processed event; returning
+        ``True`` ends the run early (the usual condition is "every correct
+        process has decided").  ``max_events`` is a safety valve against
+        accidentally unbounded algorithms.
+        """
+        if until < self.clock.now:
+            raise SimulationError(
+                f"cannot run until {until}: the clock is already at {self.clock.now}"
+            )
+        self.start()
+        if stop_when is not None and stop_when(self):
+            self.trace.mark_end(self.clock.now)
+            return self.trace
+        stopped_early = False
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > until:
+                break
+            event = self.queue.pop_next()
+            if event is None:
+                break
+            self.clock.advance_to(event.time)
+            event.action()
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError(
+                    f"the run exceeded {max_events} events; "
+                    "the algorithm is probably not quiescing"
+                )
+            if stop_when is not None and stop_when(self):
+                stopped_early = True
+                break
+        if not stopped_early:
+            # The horizon was reached (or the system quiesced before it); the
+            # run formally covers the whole interval up to ``until``.
+            self.clock.advance_to(until)
+        self.trace.mark_end(self.clock.now)
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Convenience queries (used by stop conditions and tests)
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """How many events have been executed so far."""
+        return self._events_processed
+
+    def correct_processes(self) -> frozenset[ProcessId]:
+        """The correct processes of this run's failure pattern."""
+        return self.failure_pattern.correct
+
+    def all_correct_decided(self) -> bool:
+        """Return ``True`` when every correct process has decided."""
+        return self.trace.all_decided(self.correct_processes())
+
+    def detector(self, name: str) -> object:
+        """Return an attached detector instance by name."""
+        try:
+            return self.detectors[name]
+        except KeyError:
+            raise SimulationError(f"no detector named {name!r} is attached") from None

@@ -1,0 +1,210 @@
+"""Timing models: asynchronous, partially synchronous, synchronous.
+
+A timing model answers one question for the network — *when is a copy of a
+broadcast delivered over a given link?* — and one for the runtime — *how long
+does a local step take?*  The three concrete models correspond to the paper's
+``HAS`` (asynchronous), ``HPS`` (partially synchronous processes and
+eventually timely links, with an unknown global stabilization time ``GST`` and
+latency bound ``δ``), and ``HSS`` (synchronous) system families.
+
+All models keep links *reliable*: messages are never lost after GST, never
+duplicated, never corrupted.  The partially synchronous model may lose or
+arbitrarily delay messages sent before GST, exactly as the paper allows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..identity import ProcessId
+from .clock import Time
+
+__all__ = [
+    "TimingModel",
+    "AsynchronousTiming",
+    "PartiallySynchronousTiming",
+    "SynchronousTiming",
+]
+
+
+class TimingModel:
+    """Interface implemented by the three timing disciplines."""
+
+    #: Whether the model drives processes in lock-step rounds (HSS only).
+    synchronous_steps: bool = False
+
+    def delivery_time(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        sent_at: Time,
+        rng: random.Random,
+    ) -> Time | None:
+        """Return the delivery time of a message, or ``None`` if it is lost.
+
+        Losing messages is only permitted before GST in the partially
+        synchronous model; the other models always return a time.
+        """
+        raise NotImplementedError
+
+    def step_delay(self, process: ProcessId, at: Time, rng: random.Random) -> Time:
+        """Return the local-step duration charged when a task resumes."""
+        return 0.0
+
+    def describe(self) -> str:
+        """Short human-readable description for experiment tables."""
+        raise NotImplementedError
+
+
+@dataclass
+class AsynchronousTiming(TimingModel):
+    """Reliable asynchronous links: arbitrary but finite delivery delays.
+
+    Delays are drawn uniformly from ``[min_latency, max_latency]``.  The bound
+    exists only inside the simulator (delays must be finite for the run to
+    progress); algorithm code never learns it, which is what "asynchronous"
+    means operationally.
+    """
+
+    min_latency: Time = 0.1
+    max_latency: Time = 10.0
+    min_step: Time = 0.0
+    max_step: Time = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_latency < 0 or self.max_latency < self.min_latency:
+            raise ConfigurationError(
+                "latencies must satisfy 0 <= min_latency <= max_latency"
+            )
+        if self.min_step < 0 or self.max_step < self.min_step:
+            raise ConfigurationError("steps must satisfy 0 <= min_step <= max_step")
+
+    def delivery_time(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        sent_at: Time,
+        rng: random.Random,
+    ) -> Time | None:
+        return sent_at + rng.uniform(self.min_latency, self.max_latency)
+
+    def step_delay(self, process: ProcessId, at: Time, rng: random.Random) -> Time:
+        if self.max_step <= 0:
+            return 0.0
+        return rng.uniform(self.min_step, self.max_step)
+
+    def describe(self) -> str:
+        return f"async latency∈[{self.min_latency},{self.max_latency}]"
+
+
+@dataclass
+class PartiallySynchronousTiming(TimingModel):
+    """Eventually timely links and partially synchronous processes.
+
+    * Messages sent at or after ``gst`` are delivered within ``delta``.
+    * Messages sent before ``gst`` may be lost (probability ``pre_gst_loss``)
+      or delayed by up to ``pre_gst_max_latency`` (finite, but possibly far
+      larger than ``delta``); they are never delivered before ``gst`` earlier
+      than their draw allows, matching "lost or delivered after an arbitrary
+      (but finite) time".
+    * Local steps take at most ``max_step`` (unknown to the algorithms).
+
+    Algorithms must not read ``gst`` or ``delta``; they are simulator
+    parameters standing in for the unknown bounds of the paper's model.
+    """
+
+    gst: Time = 50.0
+    delta: Time = 1.0
+    min_latency: Time = 0.1
+    pre_gst_max_latency: Time = 200.0
+    pre_gst_loss: float = 0.3
+    max_step: Time = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gst < 0:
+            raise ConfigurationError("GST cannot be negative")
+        if self.delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if not 0 <= self.pre_gst_loss <= 1:
+            raise ConfigurationError("pre_gst_loss must be a probability")
+        if self.min_latency < 0 or self.min_latency > self.delta:
+            raise ConfigurationError("min_latency must lie in [0, delta]")
+        if self.pre_gst_max_latency < self.delta:
+            raise ConfigurationError("pre_gst_max_latency must be at least delta")
+        if self.max_step < 0:
+            raise ConfigurationError("max_step cannot be negative")
+
+    def delivery_time(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        sent_at: Time,
+        rng: random.Random,
+    ) -> Time | None:
+        if sent_at >= self.gst:
+            return sent_at + rng.uniform(self.min_latency, self.delta)
+        if rng.random() < self.pre_gst_loss:
+            return None
+        return sent_at + rng.uniform(self.min_latency, self.pre_gst_max_latency)
+
+    def step_delay(self, process: ProcessId, at: Time, rng: random.Random) -> Time:
+        if self.max_step <= 0:
+            return 0.0
+        return rng.uniform(0.0, self.max_step)
+
+    def describe(self) -> str:
+        return f"partially-synchronous GST={self.gst} δ={self.delta}"
+
+
+@dataclass
+class SynchronousTiming(TimingModel):
+    """Lock-step synchronous rounds with known bounds.
+
+    A synchronous step ``s`` spans the interval ``[s·step, (s+1)·step)``.
+    Every message broadcast during step ``s`` by a process that does not crash
+    mid-broadcast is delivered strictly inside step ``s`` (at a fixed fraction
+    of the step), so a process that waits for "the messages sent in this
+    synchronous step" (Figure 7) sees all of them before the step boundary.
+    """
+
+    step: Time = 1.0
+    delivery_fraction: float = 0.5
+
+    synchronous_steps = True
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ConfigurationError("step duration must be positive")
+        if not 0 < self.delivery_fraction < 1:
+            raise ConfigurationError("delivery_fraction must lie strictly in (0, 1)")
+
+    def step_index(self, at: Time) -> int:
+        """Return the index of the synchronous step containing time ``at``."""
+        return int(math.floor(at / self.step + 1e-9))
+
+    def step_start(self, index: int) -> Time:
+        """Return the start time of synchronous step ``index``."""
+        return index * self.step
+
+    def next_step_start(self, at: Time) -> Time:
+        """Return the start time of the step following the one containing ``at``."""
+        return self.step_start(self.step_index(at) + 1)
+
+    def delivery_time(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        sent_at: Time,
+        rng: random.Random,
+    ) -> Time | None:
+        step_index = self.step_index(sent_at)
+        in_step_delivery = self.step_start(step_index) + self.delivery_fraction * self.step
+        # A message sent late within the step is still delivered before the
+        # boundary, but never before it was sent.
+        return max(sent_at, in_step_delivery)
+
+    def describe(self) -> str:
+        return f"synchronous step={self.step}"

@@ -1,0 +1,30 @@
+"""Workload generation: homonymy patterns, crash schedules, scenarios.
+
+These helpers build the parameter space the experiments sweep over: how
+identifiers are shared (:mod:`repro.workloads.homonymy`), who crashes and when
+(:mod:`repro.workloads.crashes`), and complete consensus scenarios combining
+both with a timing model and detector stabilization times
+(:mod:`repro.workloads.scenarios`).
+"""
+
+from .crashes import (
+    cascading_crashes,
+    crash_fraction,
+    leader_targeted_crashes,
+    minority_crashes,
+    no_crashes,
+)
+from .homonymy import homonymy_spectrum, membership_with_distinct_ids
+from .scenarios import ConsensusScenario, DetectorScenario
+
+__all__ = [
+    "ConsensusScenario",
+    "DetectorScenario",
+    "cascading_crashes",
+    "crash_fraction",
+    "homonymy_spectrum",
+    "leader_targeted_crashes",
+    "membership_with_distinct_ids",
+    "minority_crashes",
+    "no_crashes",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures and helper programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.identity import ProcessId
+from repro.membership import (
+    Membership,
+    anonymous_identities,
+    grouped_identities,
+    unique_identities,
+)
+
+
+@pytest.fixture
+def paper_example_membership() -> Membership:
+    """The paper's running example: ids A, A, B for processes p0, p1, p2."""
+    return Membership.of(["A", "A", "B"])
+
+
+@pytest.fixture
+def unique_five() -> Membership:
+    """Five processes with unique identifiers (a classical AS membership)."""
+    return unique_identities(5)
+
+
+@pytest.fixture
+def anonymous_five() -> Membership:
+    """Five anonymous processes."""
+    return anonymous_identities(5)
+
+
+@pytest.fixture
+def homonymous_six() -> Membership:
+    """Six processes in three homonymy groups of sizes 3, 2, 1."""
+    return grouped_identities([3, 2, 1])
+
+
+def pid(index: int) -> ProcessId:
+    """Shorthand for building process ids in tests."""
+    return ProcessId(index)

@@ -1,0 +1,52 @@
+"""Smoke tests for the experiment CLI and the example scripts."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExperimentsCli:
+    def test_runs_selected_experiment_and_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "report.txt"
+        exit_code = experiments_main(["E2", "--seed", "1", "-o", str(report)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "E2" in captured
+        assert report.exists()
+        assert "E2" in report.read_text()
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["E42"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_names_are_case_insensitive(self, capsys):
+        assert experiments_main(["e3"]) == 0
+        assert "E3" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+    def test_example_runs_cleanly(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "VIOLATED" not in completed.stdout
+        assert "FAILED" not in completed.stdout

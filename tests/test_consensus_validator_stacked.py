@@ -1,0 +1,155 @@
+"""Tests for the consensus validator and the stacked (no-oracle) configuration.
+
+The stacked configuration is the paper's end-to-end claim: running the
+Figure 6 HΩ implementation *underneath* the Figure 8 consensus algorithm
+solves consensus in a partially synchronous homonymous system with a majority
+of correct processes and no oracle at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import OhpPollingProgram
+from repro.consensus import (
+    ConsensusKeys,
+    HOmegaMajorityConsensus,
+    validate_consensus,
+)
+from repro.errors import ConsensusViolationError
+from repro.identity import ProcessId
+from repro.membership import grouped_identities, unique_identities
+from repro.sim import (
+    CompositeProgram,
+    CrashSchedule,
+    PartiallySynchronousTiming,
+    RunTrace,
+    Simulation,
+    build_system,
+)
+from repro.sim.failures import FailurePattern
+
+KEYS = ConsensusKeys()
+
+
+def p(index: int) -> ProcessId:
+    return ProcessId(index)
+
+
+class TestValidator:
+    def setup_method(self):
+        self.membership = unique_identities(3)
+        self.pattern = FailurePattern(self.membership, CrashSchedule.at_times({p(2): 5.0}))
+        self.proposals = {p(0): "a", p(1): "b", p(2): "c"}
+
+    def _trace(self, decisions):
+        trace = RunTrace()
+        for process, (value, time) in decisions.items():
+            trace.record_decision(process, value, time)
+            trace.record(process, KEYS.DECIDED_ROUND, 1, time)
+        return trace
+
+    def test_all_good(self):
+        trace = self._trace({p(0): ("a", 10.0), p(1): ("a", 12.0)})
+        verdict = validate_consensus(trace, self.pattern, self.proposals)
+        assert verdict.ok
+        assert verdict.last_decision_time == 12.0
+        assert verdict.max_decision_round == 1
+
+    def test_validity_violation(self):
+        trace = self._trace({p(0): ("not-proposed", 10.0), p(1): ("not-proposed", 10.0)})
+        verdict = validate_consensus(trace, self.pattern, self.proposals)
+        assert not verdict.validity_ok
+        assert not verdict.ok
+        with pytest.raises(ConsensusViolationError):
+            verdict.raise_on_safety_violation()
+
+    def test_agreement_violation(self):
+        trace = self._trace({p(0): ("a", 10.0), p(1): ("b", 10.0)})
+        verdict = validate_consensus(trace, self.pattern, self.proposals)
+        assert not verdict.agreement_ok
+        with pytest.raises(ConsensusViolationError):
+            verdict.raise_on_safety_violation()
+
+    def test_agreement_includes_faulty_deciders(self):
+        trace = self._trace({p(0): ("a", 10.0), p(1): ("a", 10.0), p(2): ("b", 2.0)})
+        verdict = validate_consensus(trace, self.pattern, self.proposals)
+        assert not verdict.agreement_ok
+
+    def test_termination_violation(self):
+        trace = self._trace({p(0): ("a", 10.0)})
+        verdict = validate_consensus(trace, self.pattern, self.proposals)
+        assert not verdict.termination_ok
+        assert not verdict.ok
+        # Safety still holds, so no exception is raised.
+        verdict.raise_on_safety_violation()
+
+    def test_termination_not_required(self):
+        trace = self._trace({p(0): ("a", 10.0)})
+        verdict = validate_consensus(
+            trace, self.pattern, self.proposals, require_termination=False
+        )
+        assert not verdict.termination_ok
+        assert verdict.violations == ()
+
+    def test_empty_run_reports_no_decisions(self):
+        verdict = validate_consensus(RunTrace(), self.pattern, self.proposals)
+        assert not verdict.termination_ok
+        assert verdict.last_decision_time is None
+        assert verdict.max_decision_round is None
+
+
+class TestStackedConsensus:
+    """Figure 6 (HΩ implementation) running underneath Figure 8 consensus."""
+
+    def run_stacked(self, membership, *, crashes=None, seed=31, until=800.0, gst=15.0):
+        proposals = {
+            process: f"value-{process.index}" for process in membership.processes
+        }
+        schedule = CrashSchedule.at_times(crashes or {})
+
+        def factory(pid, identity):
+            detector_program = OhpPollingProgram(
+                detector_name="HOmega", record_outputs=False
+            )
+            consensus_program = HOmegaMajorityConsensus(
+                proposals[pid], n=membership.size
+            )
+            return CompositeProgram(detector_program, consensus_program)
+
+        # Links must stay reliable for the consensus layer (Figure 8 sends each
+        # message once); before GST they may only be slow, not lossy.
+        system = build_system(
+            membership=membership,
+            timing=PartiallySynchronousTiming(
+                gst=gst, delta=1.0, min_latency=0.1, pre_gst_loss=0.0,
+                pre_gst_max_latency=30.0,
+            ),
+            program_factory=factory,
+            crash_schedule=schedule,
+            seed=seed,
+        )
+        simulation = Simulation(system)
+        trace = simulation.run(
+            until=until, stop_when=lambda sim: sim.all_correct_decided()
+        )
+        return trace, FailurePattern(membership, schedule), proposals
+
+    def test_consensus_without_any_oracle(self):
+        membership = grouped_identities([2, 2, 1])
+        trace, pattern, proposals = self.run_stacked(membership, crashes={p(1): 10.0})
+        verdict = validate_consensus(trace, pattern, proposals)
+        assert verdict.ok, verdict.violations
+
+    def test_consensus_without_any_oracle_unique_ids(self):
+        membership = unique_identities(5)
+        trace, pattern, proposals = self.run_stacked(membership, crashes={p(0): 20.0})
+        verdict = validate_consensus(trace, pattern, proposals)
+        assert verdict.ok, verdict.violations
+
+    def test_decision_happens_after_gst(self):
+        membership = grouped_identities([2, 1])
+        trace, pattern, proposals = self.run_stacked(membership, gst=25.0)
+        verdict = validate_consensus(trace, pattern, proposals)
+        assert verdict.ok, verdict.violations
+        assert verdict.last_decision_time > 0.0

@@ -1,0 +1,91 @@
+"""Smoke tests for the experiment harness (quick mode).
+
+Each experiment must run, produce rows and a renderable table, and report the
+headline result the paper's corresponding claim predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+)
+
+
+class TestHarnessShape:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 9)}
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+    def test_each_experiment_produces_rows_and_table(self, name):
+        result = ALL_EXPERIMENTS[name](quick=True, seed=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        table = result.table()
+        assert name in table
+        assert result.summary
+
+
+class TestExperimentHeadlines:
+    def test_e1_detector_converges_and_ablation_fails(self):
+        result = run_e1(quick=True, seed=2)
+        assert result.summary["adaptive_all_converged"]
+        assert result.summary["adaptive_all_homega_ok"]
+        assert not result.summary["fixed_timeout_converged"]
+
+    def test_e2_all_hsigma_properties_hold(self):
+        result = run_e2(quick=True, seed=2)
+        assert result.summary["all_properties_hold"]
+
+    def test_e3_all_reductions_emulate_their_target(self):
+        result = run_e3(quick=True, seed=2)
+        assert result.summary["all_reductions_ok"]
+        assert result.summary["corollary_1_sigma_hsigma_asigma_equivalent"]
+        assert result.summary["ap_reaches_homega_in_aas"]
+        assert result.summary["asigma_does_not_reach_homega_in_aas"]
+
+    def test_e4_consensus_with_majority_always_correct(self):
+        result = run_e4(quick=True, seed=2)
+        assert result.summary["all_terminated"]
+        assert result.summary["all_safe"]
+
+    def test_e5_consensus_with_hsigma_survives_majority_crashes(self):
+        result = run_e5(quick=True, seed=2)
+        assert result.summary["all_terminated"]
+        assert result.summary["all_safe"]
+        assert result.summary["runs_with_majority_crashed"] > 0
+        assert result.summary["majority_crashed_all_terminated"]
+
+    def test_e6_spectrum_always_correct(self):
+        result = run_e6(quick=True, seed=2)
+        assert result.summary["all_terminated"]
+        assert result.summary["all_safe"]
+
+    def test_e7_coordination_phase_reduces_rounds(self):
+        result = run_e7(quick=True, seed=2)
+        assert result.summary["both_variants_always_safe"]
+        assert result.summary["with_coordination_termination_rate"] == 1.0
+        # The ablated variant needs strictly more rounds on average.
+        assert (
+            result.summary["mean_rounds_without_coordination"]
+            > result.summary["mean_rounds_with_coordination"]
+        )
+
+    def test_e8_stacked_consensus_decides_after_gst(self):
+        result = run_e8(quick=True, seed=2)
+        assert result.summary["all_terminated"]
+        assert result.summary["all_safe"]
+        assert all(
+            row["decision_after_gst"] is None or row["decision_after_gst"] > 0
+            for row in result.rows
+        )

@@ -1,0 +1,120 @@
+"""Tests for the clock, event queue, and RNG streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue
+from repro.sim.rng import RngStreams
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advances(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(start=5)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.9)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order: list[str] = []
+        queue.schedule(2.0, lambda: order.append("late"))
+        queue.schedule(1.0, lambda: order.append("early"))
+        while (event := queue.pop_next()) is not None:
+            event.action()
+        assert order == ["early", "late"]
+
+    def test_same_time_orders_by_priority_then_fifo(self):
+        queue = EventQueue()
+        order: list[str] = []
+        queue.schedule(1.0, lambda: order.append("a"), priority=1)
+        queue.schedule(1.0, lambda: order.append("b"), priority=0)
+        queue.schedule(1.0, lambda: order.append("c"), priority=1)
+        while (event := queue.pop_next()) is not None:
+            event.action()
+        assert order == ["b", "a", "c"]
+
+    def test_cancellation_skips_event(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        event = queue.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        queue.note_cancellation()
+        assert queue.is_empty()
+        assert queue.pop_next() is None
+        assert fired == []
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(4.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        first.cancel()
+        queue.note_cancellation()
+        assert queue.peek_time() == 2.0
+
+    def test_rejects_negative_time(self):
+        queue = EventQueue()
+        with pytest.raises(SchedulingError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_rejects_scheduling_in_the_past(self):
+        queue = EventQueue()
+        with pytest.raises(SchedulingError):
+            queue.schedule(1.0, lambda: None, not_before=2.0)
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.pop_next()
+        assert len(queue) == 1
+
+
+class TestRngStreams:
+    def test_same_seed_same_draws(self):
+        first = RngStreams(42).stream("latency")
+        second = RngStreams(42).stream("latency")
+        assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        streams = RngStreams(42)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_derives_new_space(self):
+        parent = RngStreams(7)
+        child_one = parent.spawn("exp")
+        child_two = parent.spawn("exp")
+        assert child_one.master_seed == child_two.master_seed
+        assert child_one.master_seed != parent.master_seed
+
+    def test_master_seed_exposed(self):
+        assert RngStreams(9).master_seed == 9
