@@ -1,0 +1,99 @@
+"""Microbenchmark: Engine/spec dispatch overhead vs hand-wired build_system.
+
+The runtime front door materialises memberships, timing models, crash
+schedules, and detector factories from data on every run.  This benchmark
+runs the *same* small consensus scenario both ways — declaratively through
+:func:`repro.runtime.execute_spec` and directly through ``build_system`` +
+``Simulation`` — so the dispatch overhead is visible as the difference
+between the two timings (the simulation itself dominates; the overhead
+should stay in the low single-digit percent).
+
+The two paths must also *measure* the same run: identical seeds feed
+identical RNG streams, so the assertion at the bottom pins byte-equal
+metrics, which is exactly the serial/parallel determinism contract.
+"""
+
+from __future__ import annotations
+
+from repro.consensus import HOmegaMajorityConsensus, validate_consensus
+from repro.analysis.metrics import consensus_metrics
+from repro.runtime import Engine, execute_spec, minority, scenario
+from repro.runtime.engine import default_consensus_detectors, distinct_proposals
+from repro.sim import AsynchronousTiming, Simulation, build_system
+from repro.sim.failures import FailurePattern
+from repro.workloads.crashes import minority_crashes
+from repro.workloads.homonymy import membership_with_distinct_ids
+
+_N = 5
+_DISTINCT = 3
+_STABILIZATION = 10.0
+_HORIZON = 300.0
+_SEED = 7
+
+_SPEC = (
+    scenario("bench-overhead")
+    .processes(_N)
+    .distinct_ids(_DISTINCT)
+    .crashes(minority(at=6.0, count=1))
+    .detectors("HOmega", "HSigma", stabilization=_STABILIZATION)
+    .consensus("homega_majority")
+    .horizon(_HORIZON)
+    .seed(_SEED)
+    .build()
+)
+
+
+def _run_direct() -> dict:
+    """The hand-wired baseline: everything assembled inline."""
+    membership = membership_with_distinct_ids(_N, _DISTINCT)
+    proposals = distinct_proposals(membership)
+    crash_schedule = minority_crashes(membership, at=6.0, count=1)
+    system = build_system(
+        membership=membership,
+        timing=AsynchronousTiming(min_latency=0.1, max_latency=2.0),
+        program_factory=lambda pid, identity: HOmegaMajorityConsensus(
+            proposals[pid], n=membership.size
+        ),
+        crash_schedule=crash_schedule,
+        detectors=default_consensus_detectors(_STABILIZATION),
+        seed=_SEED,
+    )
+    simulation = Simulation(system)
+    trace = simulation.run(
+        until=_HORIZON, stop_when=lambda sim: sim.all_correct_decided()
+    )
+    pattern = FailurePattern(membership, crash_schedule)
+    verdict = validate_consensus(trace, pattern, proposals, require_termination=False)
+    metrics = consensus_metrics(trace, pattern, verdict)
+    return {
+        "decided": metrics.decided,
+        "safe": metrics.safe,
+        "decision_time": metrics.last_decision_time,
+        "rounds": metrics.max_decision_round,
+        "broadcasts": metrics.broadcasts,
+        "message_copies": metrics.message_copies,
+    }
+
+
+def test_direct_build_system_dispatch(benchmark):
+    """Baseline: one consensus run wired by hand."""
+    row = benchmark(_run_direct)
+    assert row["decided"] and row["safe"]
+
+
+def test_engine_spec_dispatch(benchmark):
+    """Same run through the declarative spec + execute_spec path."""
+    record = benchmark(execute_spec, _SPEC)
+    assert record.metrics["decided"] and record.metrics["safe"]
+
+
+def test_engine_run_dispatch(benchmark):
+    """Same run through Engine.run (adds record bookkeeping, no JSONL)."""
+    engine = Engine()
+    record = benchmark(engine.run, _SPEC)
+    assert record.metrics["decided"] and record.metrics["safe"]
+
+
+def test_paths_measure_identical_runs():
+    """Dispatch overhead must not change what is measured."""
+    assert _run_direct() == dict(execute_spec(_SPEC).metrics)

@@ -3,64 +3,67 @@
 
 Figure 8 needs a majority of correct processes; Figure 9 replaces the counting
 quorums by the HΣ failure detector and tolerates any number of crashes without
-even knowing how many processes exist.  This example runs a 7-process
+even knowing how many processes exist.  This example declares a 7-process
 homonymous system in which 4 processes — a majority — crash, and shows that
 the survivors still decide a single proposed value.
+
+It also shows the requirement table at work: asking the *majority-based*
+Figure 8 algorithm to run the same crash schedule is rejected at build time,
+before any simulation happens.
 
 Run with:  python examples/consensus_any_failures.py
 """
 
 from __future__ import annotations
 
-from repro.consensus import HOmegaHSigmaConsensus, validate_consensus
-from repro.detectors import HOmegaOracle, HSigmaOracle
-from repro.membership import grouped_identities
-from repro.sim import AsynchronousTiming, Simulation, build_system
-from repro.sim.failures import FailurePattern
-from repro.workloads import cascading_crashes
+from repro.runtime import Engine, ScenarioValidationError, cascading, scenario
 
 
 def main() -> None:
-    # 7 processes in three homonymy groups (3 + 2 + 2 share identifiers).
-    membership = grouped_identities([3, 2, 2], prefix="site-")
-    print("membership:", membership.describe())
-
-    # Four processes crash one after the other: a majority is gone by t=26.
-    crash_schedule = cascading_crashes(membership, 4, first_at=8.0, interval=6.0)
-    print("crashes:", {event.process.index: event.time for event in crash_schedule.events})
-
-    proposals = {process: f"proposal-{process.index}" for process in membership.processes}
-    detectors = {
-        "HOmega": lambda services: HOmegaOracle(
-            services, stabilization_time=30.0, noise_period=5.0
-        ),
-        "HSigma": lambda services: HSigmaOracle(services, stabilization_time=30.0),
-    }
-    system = build_system(
-        membership=membership,
-        timing=AsynchronousTiming(min_latency=0.1, max_latency=2.0),
-        program_factory=lambda pid, identity: HOmegaHSigmaConsensus(proposals[pid]),
-        crash_schedule=crash_schedule,
-        detectors=detectors,
-        seed=13,
+    # 7 processes in three homonymy groups (3 + 2 + 2 share identifiers);
+    # four of them crash one after the other — a majority is gone by t=26.
+    build = lambda consensus: (
+        scenario("any-failures")
+        .processes(7)
+        .homonyms([3, 2, 2])
+        .crashes(cascading(4, first_at=8.0, interval=6.0))
+        .detectors("HOmega", "HSigma", stabilization=30.0)
+        .consensus(consensus)
+        .horizon(600.0)
+        .seed(13)
+        .build()
     )
-    simulation = Simulation(system)
-    trace = simulation.run(until=600.0, stop_when=lambda sim: sim.all_correct_decided())
 
-    pattern = FailurePattern(membership, crash_schedule)
-    verdict = validate_consensus(trace, pattern, proposals)
-    print(f"\ncorrect processes: {sorted(p.index for p in pattern.correct)} "
-          f"(only {len(pattern.correct)} of {membership.size} survive)")
-    print("decisions of the survivors:")
-    for process in sorted(pattern.correct):
-        decision = trace.decision_of(process)
-        print(f"  process {process.index} decided {decision.value!r} at t={decision.time:.1f}")
-    print()
-    print(f"validity    : {'ok' if verdict.validity_ok else 'VIOLATED'}")
-    print(f"agreement   : {'ok' if verdict.agreement_ok else 'VIOLATED'}")
-    print(f"termination : {'ok' if verdict.termination_ok else 'VIOLATED'}")
-    print(f"messages    : {trace.broadcast_invocations} broadcasts, "
-          f"{trace.message_copies_sent} link copies")
+    # The paper's assumption table, enforced: Figure 8 cannot take this.
+    try:
+        build("homega_majority")
+        raise AssertionError("the majority algorithm accepted 4 of 7 crashes")
+    except ScenarioValidationError as error:
+        print("figure 8 rejected, as the paper requires:")
+        print(f"  {error}\n")
+
+    # Figure 9 can: HΣ quorums replace majority counting.
+    spec = build("homega_hsigma")
+    membership = spec.membership.build()
+    print("membership:", membership.describe())
+    print("crashes   : 4 of 7, cascading from t=8 every 6 time units")
+
+    record = Engine().run(spec)
+    metrics = record.metrics
+    print("\noutcome of the survivors:")
+    print(f"  validity+agreement : {'ok' if metrics['safe'] else 'VIOLATED'}")
+    print(f"  termination        : {'ok' if metrics['decided'] else 'VIOLATED'}")
+    print(f"  decided in         : {metrics['rounds']} round(s), "
+          f"last decision at t={metrics['decision_time']:.1f}")
+    print(f"  messages           : {metrics['broadcasts']} broadcasts, "
+          f"{metrics['message_copies']} link copies")
+
+    # The same scenario across 10 seeds, two worker processes.
+    records = Engine(jobs=2).run_many(spec.with_seed(seed) for seed in range(10))
+    decided = sum(1 for r in records if r.metrics["decided"])
+    safe = all(r.metrics["safe"] for r in records)
+    print(f"\nsweep over seeds 0..9: {decided}/10 decided, "
+          f"all safe: {'ok' if safe else 'VIOLATED'}")
 
 
 if __name__ == "__main__":

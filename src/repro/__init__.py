@@ -10,19 +10,34 @@ discrete-event simulation of crash-prone homonymous message-passing systems.
 
 Typical entry points:
 
-* :func:`repro.membership.grouped_identities` & friends — build a homonymous
-  membership;
-* :mod:`repro.sim` — build and run a system (``build_system`` + ``Simulation``);
-* :mod:`repro.detectors` — detector oracles, views, and property checkers;
-* :mod:`repro.algorithms` — the paper's detector implementations
-  (Figures 3, 6, 7);
-* :mod:`repro.reductions` — the paper's reductions (Figures 1, 2, 4;
-  Theorems 3–4; Observation 1) and the Figure 5 relation graph;
-* :mod:`repro.consensus` — the Figure 8 and Figure 9 consensus algorithms,
-  baselines, and the validity/agreement/termination validator;
-* :mod:`repro.workloads`, :mod:`repro.analysis`, :mod:`repro.experiments` —
-  scenario generation, metrics, and the experiment harness behind
-  ``EXPERIMENTS.md`` and the benchmarks.
+* :mod:`repro.runtime` — **the front door**: declare a run with the fluent
+  :func:`~repro.runtime.scenario` builder (membership shape, timing, crashes,
+  detector stack, algorithm — validated against the paper's requirement
+  table), serialize it as a :class:`~repro.runtime.ScenarioSpec`, and execute
+  one spec or a whole sweep through the :class:`~repro.runtime.Engine`
+  (serially, or multi-core via ``Engine(jobs=N)``)::
+
+      from repro.runtime import Engine, scenario, cascading
+
+      spec = (scenario().processes(7).homonyms([3, 2, 2])
+              .crashes(cascading(4))
+              .detectors("HOmega", "HSigma", stabilization=20.0)
+              .consensus("homega_hsigma").build())
+      record = Engine().run(spec)          # record.metrics["decided"] …
+
+* :mod:`repro.experiments` — the E1–E8 harness behind ``EXPERIMENTS.md``
+  (``python -m repro.experiments --jobs 4``), resolved through the runtime
+  registry;
+* lower layers, for custom programs and direct control:
+  :func:`repro.membership.grouped_identities` & friends build memberships;
+  :mod:`repro.sim` builds and runs systems (``build_system`` +
+  ``Simulation``); :mod:`repro.detectors` has the oracles, views, and
+  property checkers; :mod:`repro.algorithms` the paper's detector
+  implementations (Figures 3, 6, 7); :mod:`repro.reductions` the reductions
+  and the Figure 5 relation graph; :mod:`repro.consensus` the Figure 8 and
+  Figure 9 algorithms, baselines, and the consensus validator;
+  :mod:`repro.workloads` and :mod:`repro.analysis` scenario generators,
+  metrics, and sweep aggregation.
 """
 
 from .identity import ANONYMOUS_IDENTITY, Identity, IdentityMultiset, ProcessId

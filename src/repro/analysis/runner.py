@@ -9,7 +9,14 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from .tables import render_table
 
-__all__ = ["ParameterSweep", "ExperimentResult", "aggregate_rows"]
+__all__ = ["ParameterSweep", "ExperimentResult", "aggregate_rows", "merge_row"]
+
+
+def merge_row(config: Mapping[str, Any], outcome: Mapping[str, Any]) -> dict:
+    """One result row: the config (minus bookkeeping) merged with the outcome."""
+    row = {key: value for key, value in config.items() if key != "repetition"}
+    row.update(outcome)
+    return row
 
 
 @dataclass(frozen=True)
@@ -61,19 +68,34 @@ class ParameterSweep:
                 config["repetition"] = repetition
                 yield config
 
-    def run(self, run_one: Callable[[dict], dict]) -> list[dict]:
+    @property
+    def total_runs(self) -> int:
+        """The number of configurations the sweep yields (combos × reps)."""
+        combos = 1
+        for values in self._parameters.values():
+            combos *= len(values)
+        return combos * self._repetitions
+
+    def __len__(self) -> int:
+        return self.total_runs
+
+    def run(self, run_one: Callable[[dict], dict], *, executor: Any | None = None) -> list[dict]:
         """Run ``run_one`` for every configuration and collect result rows.
 
         The configuration (minus the bookkeeping ``repetition`` field) is
         merged into each result row so downstream aggregation can group on it.
+        ``executor`` (any object with ``map(fn, items) -> list``, e.g. a
+        :class:`repro.runtime.ParallelExecutor`) fans the configurations out;
+        rows always come back in sweep order.
         """
-        rows = []
-        for config in self:
-            outcome = run_one(dict(config))
-            row = {key: value for key, value in config.items() if key != "repetition"}
-            row.update(outcome)
-            rows.append(row)
-        return rows
+        configs = [dict(config) for config in self]
+        # run_one always receives a copy, so a mutating run_one cannot
+        # corrupt the merged rows (or differ between serial and parallel).
+        if executor is None:
+            outcomes = [run_one(dict(config)) for config in configs]
+        else:
+            outcomes = executor.map(run_one, [dict(config) for config in configs])
+        return [merge_row(config, outcome) for config, outcome in zip(configs, outcomes)]
 
 
 def aggregate_rows(

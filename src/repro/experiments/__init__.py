@@ -25,6 +25,8 @@ from .e6_homonymy_spectrum import run as run_e6
 from .e7_coordination_ablation import run as run_e7
 from .e8_stacked_consensus import run as run_e8
 
+from ..runtime.registry import EXPERIMENTS, register_experiment
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -35,6 +37,10 @@ ALL_EXPERIMENTS = {
     "E7": run_e7,
     "E8": run_e8,
 }
+
+for _name, _runner in ALL_EXPERIMENTS.items():
+    if _name not in EXPERIMENTS:
+        register_experiment(_name, _runner)
 
 __all__ = [
     "ALL_EXPERIMENTS",

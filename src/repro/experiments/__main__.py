@@ -4,16 +4,21 @@ Examples::
 
     python -m repro.experiments                     # run E1–E8 in quick mode
     python -m repro.experiments --full E4 E5        # full sweeps of E4 and E5
-    python -m repro.experiments --seed 3 -o report.txt
+    python -m repro.experiments --jobs 4            # sweep on four cores
+    python -m repro.experiments --format json E1    # machine-readable output
+    python -m repro.experiments --seed 3 -o report.txt --jsonl runs.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from . import ALL_EXPERIMENTS
+from ..runtime import Engine, executor_for
+from ..runtime.registry import EXPERIMENTS
+from . import ALL_EXPERIMENTS  # noqa: F401  (importing registers E1–E8)
 
 __all__ = ["main"]
 
@@ -37,6 +42,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweeps (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="append every run record/row to this JSONL file (written after "
+        "each experiment's sweep finishes)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         metavar="FILE",
@@ -44,35 +69,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    selected = [name.upper() for name in args.experiments] or sorted(ALL_EXPERIMENTS)
-    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    selected = [name.upper() for name in args.experiments] or list(EXPERIMENTS.names())
+    unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         parser.error(
             f"unknown experiment(s): {', '.join(unknown)}; "
-            f"available: {', '.join(sorted(ALL_EXPERIMENTS))}"
+            f"available: {', '.join(EXPERIMENTS.names())}"
         )
 
-    sections: list[str] = []
+    engine = Engine(executor_for(args.jobs), jsonl_path=args.jsonl)
+
+    results = []
     for name in selected:
-        runner = ALL_EXPERIMENTS[name]
+        runner = EXPERIMENTS.resolve(name)
         started = time.perf_counter()
-        result = runner(quick=not args.full, seed=args.seed)
+        result = runner(quick=not args.full, seed=args.seed, engine=engine)
         elapsed = time.perf_counter() - started
-        section = "\n".join(
-            [
-                result.table(),
-                f"summary: {result.summary}",
-                f"(completed in {elapsed:.1f}s, {'full' if args.full else 'quick'} mode, seed {args.seed})",
-            ]
-        )
-        sections.append(section)
-        print(section)
-        print()
+        results.append((name, result, elapsed))
+
+    if args.format == "json":
+        payload = [
+            {
+                "experiment": result.experiment,
+                "description": result.description,
+                "mode": "full" if args.full else "quick",
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "elapsed_seconds": round(elapsed, 3),
+                "rows": [dict(row) for row in result.rows],
+                "summary": dict(result.summary),
+            }
+            for _, result, elapsed in results
+        ]
+        report = json.dumps(payload, indent=2, default=str)
+        print(report)
+    else:
+        sections = []
+        for _, result, elapsed in results:
+            section = "\n".join(
+                [
+                    result.table(),
+                    f"summary: {result.summary}",
+                    f"(completed in {elapsed:.1f}s, {'full' if args.full else 'quick'} mode, seed {args.seed})",
+                ]
+            )
+            sections.append(section)
+            print(section)
+            print()
+        report = "\n\n".join(sections)
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write("\n\n".join(sections) + "\n")
-        print(f"report written to {args.output}")
+            handle.write(report + "\n")
+        # Keep stdout machine-consumable in json mode; the notice is chatter.
+        notice_stream = sys.stderr if args.format == "json" else sys.stdout
+        print(f"report written to {args.output}", file=notice_stream)
     return 0
 
 

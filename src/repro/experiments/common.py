@@ -1,34 +1,34 @@
-"""Shared helpers for the experiment modules."""
+"""Legacy shims for the experiment modules.
+
+.. deprecated::
+    The experiment harness now runs through :mod:`repro.runtime` — declare
+    scenarios with :func:`repro.runtime.scenario` and execute them with
+    :class:`repro.runtime.Engine`.  These wrappers keep the pre-runtime
+    imports working::
+
+        from repro.experiments.common import run_consensus_once   # old
+        from repro.runtime import scenario, Engine                # new
+
+    ``run_consensus_once(membership, factory, ...)`` maps onto
+    ``Engine().run(scenario()...build())`` with the same defaults (HΩ + HΣ
+    oracles, asynchronous timing with latency in ``[0.1, 2]``, distinct
+    proposals) and returns the same metrics row.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Mapping
 
-from ..analysis.metrics import consensus_metrics
-from ..consensus import validate_consensus
-from ..detectors import HOmegaOracle, HSigmaOracle
 from ..membership import Membership
-from ..sim import AsynchronousTiming, CrashSchedule, Simulation, TimingModel, build_system
-from ..sim.failures import FailurePattern
+from ..runtime.engine import (
+    default_consensus_detectors,
+    distinct_proposals,
+    run_once,
+)
+from ..sim import AsynchronousTiming, CrashSchedule, TimingModel
 
 __all__ = ["default_consensus_detectors", "run_consensus_once", "distinct_proposals"]
-
-
-def distinct_proposals(membership: Membership) -> dict:
-    """One distinct proposal per process (so agreement is non-trivial)."""
-    return {process: f"value-{process.index}" for process in membership.processes}
-
-
-def default_consensus_detectors(stabilization: float, *, noise_period: float | None = 5.0):
-    """The HΩ + HΣ oracle pair used by the consensus experiments."""
-    return {
-        "HOmega": lambda services: HOmegaOracle(
-            services, stabilization_time=stabilization, noise_period=noise_period
-        ),
-        "HSigma": lambda services: HSigmaOracle(
-            services, stabilization_time=stabilization
-        ),
-    }
 
 
 def run_consensus_once(
@@ -42,29 +42,27 @@ def run_consensus_once(
     horizon: float = 500.0,
     seed: int = 0,
 ) -> dict:
-    """Run one consensus configuration and return a metrics row."""
+    """Run one consensus configuration and return a metrics row.
+
+    .. deprecated:: use ``repro.runtime`` (see the module docstring).
+    """
+    warnings.warn(
+        "run_consensus_once is deprecated; build a ScenarioSpec with "
+        "repro.runtime.scenario() and execute it with repro.runtime.Engine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     proposals = distinct_proposals(membership)
-    schedule = crash_schedule or CrashSchedule.none()
-    system = build_system(
+    record = run_once(
         membership=membership,
         timing=timing or AsynchronousTiming(min_latency=0.1, max_latency=2.0),
         program_factory=lambda pid, identity: consensus_factory(proposals[pid]),
-        crash_schedule=schedule,
+        crash_schedule=crash_schedule,
         detectors=detectors
         if detectors is not None
         else default_consensus_detectors(detector_stabilization),
+        proposals=proposals,
+        horizon=horizon,
         seed=seed,
     )
-    simulation = Simulation(system)
-    trace = simulation.run(until=horizon, stop_when=lambda sim: sim.all_correct_decided())
-    pattern = FailurePattern(membership, schedule)
-    verdict = validate_consensus(trace, pattern, proposals, require_termination=False)
-    metrics = consensus_metrics(trace, pattern, verdict)
-    return {
-        "decided": metrics.decided,
-        "safe": metrics.safe,
-        "decision_time": metrics.last_decision_time,
-        "rounds": metrics.max_decision_round,
-        "broadcasts": metrics.broadcasts,
-        "message_copies": metrics.message_copies,
-    }
+    return dict(record.metrics)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..algorithms import OhpPollingProgram
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
 from ..detectors import check_diamond_hp, check_homega_election
+from ..runtime import Engine
 from ..sim import PartiallySynchronousTiming, Simulation, build_system
 from ..sim.failures import FailurePattern
 from ..workloads.crashes import minority_crashes
@@ -62,8 +63,9 @@ def _run_one(config: dict) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the E1 sweep and return the aggregated result."""
+    engine = engine or Engine()
     if quick:
         parameters = {
             "n": [5],
@@ -83,7 +85,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
         repetitions = 3
     sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
 
     # The fixed-timeout ablation: one configuration where the static timeout is
     # below the actual latency bound, expected NOT to converge.
@@ -98,7 +100,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         repetitions=1,
         base_seed=seed + 1_000,
     )
-    rows.extend(ablation_sweep.run(_run_one))
+    rows.extend(engine.sweep(_run_one, ablation_sweep))
 
     aggregated = aggregate_rows(
         rows,

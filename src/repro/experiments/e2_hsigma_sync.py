@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..algorithms import HSigmaSynchronousProgram
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
 from ..detectors import check_hsigma
+from ..runtime import Engine
 from ..sim import Simulation, SynchronousTiming, build_system
 from ..sim.failures import FailurePattern
 from ..workloads.crashes import cascading_crashes
@@ -51,8 +52,9 @@ def _run_one(config: dict) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the E2 sweep and return the aggregated result."""
+    engine = engine or Engine()
     if quick:
         parameters = {
             "n": [5],
@@ -72,7 +74,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
         repetitions = 2
     sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
     aggregated = aggregate_rows(
         rows,
         group_by=["n", "distinct_ids", "crashes", "crash_mid_broadcast"],

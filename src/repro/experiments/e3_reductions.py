@@ -37,6 +37,7 @@ from ..reductions import (
     is_stronger,
 )
 from ..membership import anonymous_identities, grouped_identities, unique_identities
+from ..runtime import Engine
 from ..sim import AsynchronousTiming, CrashSchedule, Simulation, build_system
 from ..sim.failures import FailurePattern
 
@@ -177,16 +178,26 @@ def _reduction_cases(seed: int):
     )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _run_case(config: dict) -> dict:
+    """Run one reduction case by index (module-level so executors can fan out)."""
+    for case_index, (description, runner) in enumerate(_reduction_cases(config["seed"])):
+        if case_index == config["case"]:
+            result = runner()
+            row = dict(description)
+            row["emulation_ok"] = result.ok
+            row["stabilization_time"] = result.stabilization_time
+            row["violations"] = len(result.violations)
+            return row
+    raise ValueError(f"unknown reduction case {config['case']!r}")
+
+
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run every reduction case and the relation-graph checks."""
-    rows = []
-    for description, runner in _reduction_cases(seed):
-        result = runner()
-        row = dict(description)
-        row["emulation_ok"] = result.ok
-        row["stabilization_time"] = result.stabilization_time
-        row["violations"] = len(result.violations)
-        rows.append(row)
+    engine = engine or Engine()
+    case_count = sum(1 for _ in _reduction_cases(seed))
+    rows = engine.map(
+        _run_case, [{"case": index, "seed": seed} for index in range(case_count)]
+    )
 
     sigma_group = next(
         (group for group in equivalent_classes(model="AS") if DetectorClass.SIGMA in group),

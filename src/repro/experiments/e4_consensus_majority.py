@@ -10,10 +10,15 @@ is how the cost of homonymy shows up.
 from __future__ import annotations
 
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
-from ..consensus import HOmegaMajorityConsensus
-from ..workloads.crashes import leader_targeted_crashes, minority_crashes, no_crashes
-from ..workloads.homonymy import membership_with_distinct_ids
-from .common import run_consensus_once
+from ..runtime import (
+    CrashSpec,
+    Engine,
+    execute_spec,
+    leaders,
+    minority,
+    no_crashes,
+    scenario,
+)
 
 __all__ = ["run"]
 
@@ -22,32 +27,34 @@ DESCRIPTION = "Consensus with HΩ and a majority of correct processes (Figure 8,
 _CRASH_MODES = ("none", "minority", "leaders")
 
 
-def _crash_schedule(mode: str, membership, at: float):
+def _crash_spec(mode: str, n: int, at: float) -> CrashSpec:
     if mode == "none":
         return no_crashes()
     if mode == "minority":
-        return minority_crashes(membership, at=at)
+        return minority(at=at)
     if mode == "leaders":
-        count = max(1, (membership.size - 1) // 2)
-        return leader_targeted_crashes(membership, count, at=at)
+        return leaders(max(1, (n - 1) // 2), at=at)
     raise ValueError(f"unknown crash mode {mode!r}")
 
 
 def _run_one(config: dict) -> dict:
-    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
-    crash_schedule = _crash_schedule(config["crash_mode"], membership, at=8.0)
-    return run_consensus_once(
-        membership,
-        lambda proposal: HOmegaMajorityConsensus(proposal, n=membership.size),
-        crash_schedule=crash_schedule,
-        detector_stabilization=config["stabilization"],
-        horizon=600.0,
-        seed=config["seed"],
+    spec = (
+        scenario("E4")
+        .processes(config["n"])
+        .distinct_ids(config["distinct_ids"])
+        .crashes(_crash_spec(config["crash_mode"], config["n"], 8.0))
+        .detectors("HOmega", "HSigma", stabilization=config["stabilization"])
+        .consensus("homega_majority")
+        .horizon(600.0)
+        .seed(config["seed"])
+        .build()
     )
+    return dict(execute_spec(spec).metrics)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the E4 sweep and return the aggregated result."""
+    engine = engine or Engine()
     if quick:
         parameters = {
             "n": [5],
@@ -65,7 +72,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
         repetitions = 5
     sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
     aggregated = aggregate_rows(
         rows,
         group_by=["n", "distinct_ids", "crash_mode", "stabilization"],

@@ -10,10 +10,7 @@ as E4, so the two algorithms can be compared where both apply.
 from __future__ import annotations
 
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
-from ..consensus import HOmegaHSigmaConsensus
-from ..workloads.crashes import cascading_crashes
-from ..workloads.homonymy import membership_with_distinct_ids
-from .common import run_consensus_once
+from ..runtime import Engine, cascading, execute_spec, scenario
 
 __all__ = ["run"]
 
@@ -21,24 +18,27 @@ DESCRIPTION = "Consensus with HΩ and HΣ under any number of crashes (Figure 9,
 
 
 def _run_one(config: dict) -> dict:
-    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
-    crash_count = min(config["crashes"], membership.size - 1)
-    crash_schedule = cascading_crashes(membership, crash_count, first_at=6.0, interval=4.0)
-    row = run_consensus_once(
-        membership,
-        lambda proposal: HOmegaHSigmaConsensus(proposal),
-        crash_schedule=crash_schedule,
-        detector_stabilization=config["stabilization"],
-        horizon=700.0,
-        seed=config["seed"],
+    crash_count = min(config["crashes"], config["n"] - 1)
+    spec = (
+        scenario("E5")
+        .processes(config["n"])
+        .distinct_ids(config["distinct_ids"])
+        .crashes(cascading(crash_count, first_at=6.0, interval=4.0))
+        .detectors("HOmega", "HSigma", stabilization=config["stabilization"])
+        .consensus("homega_hsigma")
+        .horizon(700.0)
+        .seed(config["seed"])
+        .build()
     )
+    row = dict(execute_spec(spec).metrics)
     row["faulty"] = crash_count
-    row["majority_crashed"] = crash_count > membership.size / 2
+    row["majority_crashed"] = crash_count > config["n"] / 2
     return row
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the E5 sweep and return the aggregated result."""
+    engine = engine or Engine()
     if quick:
         parameters = {
             "n": [5],
@@ -56,7 +56,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
         repetitions = 4
     sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
     aggregated = aggregate_rows(
         rows,
         group_by=["n", "distinct_ids", "crashes", "stabilization"],

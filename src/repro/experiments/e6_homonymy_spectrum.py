@@ -18,15 +18,7 @@ number of rounds everywhere.
 from __future__ import annotations
 
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
-from ..consensus import (
-    AnonymousAOmegaConsensus,
-    ClassicalOmegaConsensus,
-    HOmegaMajorityConsensus,
-)
-from ..detectors import AOmegaOracle, HOmegaOracle, OmegaOracle
-from ..workloads.crashes import minority_crashes
-from ..workloads.homonymy import membership_with_distinct_ids
-from .common import run_consensus_once
+from ..runtime import Engine, execute_spec, minority, scenario
 
 __all__ = ["run"]
 
@@ -34,54 +26,33 @@ DESCRIPTION = "Consensus cost from anonymous to unique identifiers, vs specialis
 
 _STABILIZATION = 15.0
 
-
-def _detector_for(algorithm: str):
-    if algorithm == "figure8-homega":
-        return {
-            "HOmega": lambda services: HOmegaOracle(
-                services, stabilization_time=_STABILIZATION, noise_period=5.0
-            )
-        }
-    if algorithm == "classical-omega":
-        return {
-            "Omega": lambda services: OmegaOracle(
-                services, stabilization_time=_STABILIZATION, noise_period=5.0
-            )
-        }
-    if algorithm == "anonymous-aomega":
-        return {
-            "AOmega": lambda services: AOmegaOracle(
-                services, stabilization_time=_STABILIZATION, noise_period=5.0
-            )
-        }
-    raise ValueError(f"unknown algorithm {algorithm!r}")
-
-
-def _consensus_factory(algorithm: str, n: int):
-    if algorithm == "figure8-homega":
-        return lambda proposal: HOmegaMajorityConsensus(proposal, n=n)
-    if algorithm == "classical-omega":
-        return lambda proposal: ClassicalOmegaConsensus(proposal, n=n)
-    if algorithm == "anonymous-aomega":
-        return lambda proposal: AnonymousAOmegaConsensus(proposal, n=n)
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+#: algorithm label → (consensus registry name, detector it queries)
+_ALGORITHMS = {
+    "figure8-homega": ("homega_majority", "HOmega"),
+    "classical-omega": ("classical_omega", "Omega"),
+    "anonymous-aomega": ("anonymous_aomega", "AOmega"),
+}
 
 
 def _run_one(config: dict) -> dict:
-    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
-    crash_schedule = minority_crashes(membership, at=8.0, count=1)
-    return run_consensus_once(
-        membership,
-        _consensus_factory(config["algorithm"], membership.size),
-        crash_schedule=crash_schedule,
-        detectors=_detector_for(config["algorithm"]),
-        horizon=600.0,
-        seed=config["seed"],
+    consensus_name, detector_name = _ALGORITHMS[config["algorithm"]]
+    spec = (
+        scenario("E6")
+        .processes(config["n"])
+        .distinct_ids(config["distinct_ids"])
+        .crashes(minority(at=8.0, count=1))
+        .detectors(detector_name, stabilization=_STABILIZATION)
+        .consensus(consensus_name)
+        .horizon(600.0)
+        .seed(config["seed"])
+        .build()
     )
+    return dict(execute_spec(spec).metrics)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the E6 spectrum sweep and return the aggregated result."""
+    engine = engine or Engine()
     n = 6
     repetitions = 2 if quick else 6
     spectrum_points = [1, 2, 3, 6] if quick else list(range(1, n + 1))
@@ -95,7 +66,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         repetitions=repetitions,
         base_seed=seed,
     )
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
 
     baseline_sweep = ParameterSweep(
         {
@@ -106,7 +77,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         repetitions=repetitions,
         base_seed=seed + 500,
     )
-    rows.extend(baseline_sweep.run(_run_one))
+    rows.extend(engine.sweep(_run_one, baseline_sweep))
     anonymous_sweep = ParameterSweep(
         {
             "algorithm": ["anonymous-aomega"],
@@ -116,7 +87,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         repetitions=repetitions,
         base_seed=seed + 900,
     )
-    rows.extend(anonymous_sweep.run(_run_one))
+    rows.extend(engine.sweep(_run_one, anonymous_sweep))
 
     aggregated = aggregate_rows(
         rows,

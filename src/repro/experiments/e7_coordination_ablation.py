@@ -16,10 +16,7 @@ more rounds and misses the decision deadline in a fraction of the runs.
 from __future__ import annotations
 
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
-from ..consensus import HOmegaMajorityConsensus, NoCoordinationConsensus
-from ..workloads.crashes import no_crashes
-from ..workloads.homonymy import membership_with_distinct_ids
-from .common import run_consensus_once
+from ..runtime import Engine, execute_spec, scenario
 
 __all__ = ["run"]
 
@@ -30,25 +27,29 @@ DESCRIPTION = "Figure 8 with vs without the Leaders' Coordination Phase (multi-l
 _HORIZON = 150.0
 _STABILIZATION = 10.0
 
+_VARIANTS = {
+    "with-coordination": "homega_majority",
+    "without-coordination": "no_coordination",
+}
+
 
 def _run_one(config: dict) -> dict:
-    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
-    if config["variant"] == "with-coordination":
-        factory = lambda proposal: HOmegaMajorityConsensus(proposal, n=membership.size)
-    else:
-        factory = lambda proposal: NoCoordinationConsensus(proposal, n=membership.size)
-    return run_consensus_once(
-        membership,
-        factory,
-        crash_schedule=no_crashes(),
-        detector_stabilization=_STABILIZATION,
-        horizon=_HORIZON,
-        seed=config["seed"],
+    spec = (
+        scenario("E7")
+        .processes(config["n"])
+        .distinct_ids(config["distinct_ids"])
+        .detectors("HOmega", "HSigma", stabilization=_STABILIZATION)
+        .consensus(_VARIANTS[config["variant"]])
+        .horizon(_HORIZON)
+        .seed(config["seed"])
+        .build()
     )
+    return dict(execute_spec(spec).metrics)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the ablation and return the aggregated comparison."""
+    engine = engine or Engine()
     repetitions = 12 if quick else 40
     sweep = ParameterSweep(
         {
@@ -59,7 +60,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         repetitions=repetitions,
         base_seed=seed,
     )
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
     aggregated = aggregate_rows(
         rows,
         group_by=["variant", "distinct_ids"],

@@ -9,19 +9,17 @@ links, and a majority of correct processes — with no oracle anywhere.
 The sweep varies the homonymy pattern and GST and checks that every run
 decides correctly; the decision time tracks GST plus the detector's
 convergence time, which is the expected shape.
+
+Declaratively, the stacked configuration is ``.program("ohp_polling",
+detector_name="HOmega") .consensus("homega_majority")`` — the builder accepts
+the pair because the stacked program *publishes* the HΩ attachment the
+consensus algorithm queries, so no oracle is needed.
 """
 
 from __future__ import annotations
 
-from ..algorithms import OhpPollingProgram
-from ..analysis.metrics import consensus_metrics
 from ..analysis.runner import ExperimentResult, ParameterSweep, aggregate_rows
-from ..consensus import HOmegaMajorityConsensus, validate_consensus
-from ..sim import CompositeProgram, PartiallySynchronousTiming, Simulation, build_system
-from ..sim.failures import FailurePattern
-from ..workloads.crashes import minority_crashes
-from ..workloads.homonymy import membership_with_distinct_ids
-from .common import distinct_proposals
+from ..runtime import Engine, execute_spec, minority, partial_sync, scenario
 
 __all__ = ["run"]
 
@@ -29,56 +27,50 @@ DESCRIPTION = "Consensus with no oracle: Figure 6 HΩ implementation stacked und
 
 
 def _run_one(config: dict) -> dict:
-    membership = membership_with_distinct_ids(config["n"], config["distinct_ids"])
-    proposals = distinct_proposals(membership)
-    crash_schedule = minority_crashes(membership, at=config["gst"] / 2 + 1.0, count=1)
-
-    def factory(pid, identity):
-        detector_program = OhpPollingProgram(detector_name="HOmega", record_outputs=False)
-        consensus_program = HOmegaMajorityConsensus(proposals[pid], n=membership.size)
-        return CompositeProgram(detector_program, consensus_program)
-
+    gst = config["gst"]
     # Figure 8 sends each consensus message exactly once and therefore needs
     # reliable links (the HAS model).  The stacked configuration keeps links
     # eventually timely but loss-free: messages sent before GST may be delayed
     # arbitrarily, never dropped.  (The Figure 6 detector underneath tolerates
     # loss because it re-polls forever, but the consensus layer does not.)
-    timing = PartiallySynchronousTiming(
-        gst=config["gst"],
-        delta=1.0,
-        min_latency=0.1,
-        pre_gst_loss=0.0,
-        pre_gst_max_latency=3 * config["gst"] + 10.0,
+    spec = (
+        scenario("E8")
+        .processes(config["n"])
+        .distinct_ids(config["distinct_ids"])
+        .timing(
+            partial_sync(
+                gst=gst,
+                delta=1.0,
+                min_latency=0.1,
+                pre_gst_loss=0.0,
+                pre_gst_max_latency=3 * gst + 10.0,
+            )
+        )
+        .crashes(minority(at=gst / 2 + 1.0, count=1))
+        .program("ohp_polling", detector_name="HOmega", record_outputs=False)
+        .consensus("homega_majority")
+        .horizon(gst * 6 + 400.0)
+        .seed(config["seed"])
+        .build()
     )
-    system = build_system(
-        membership=membership,
-        timing=timing,
-        program_factory=factory,
-        crash_schedule=crash_schedule,
-        seed=config["seed"],
-    )
-    simulation = Simulation(system)
-    horizon = config["gst"] * 6 + 400.0
-    trace = simulation.run(until=horizon, stop_when=lambda sim: sim.all_correct_decided())
-    pattern = FailurePattern(membership, crash_schedule)
-    verdict = validate_consensus(trace, pattern, proposals, require_termination=False)
-    metrics = consensus_metrics(trace, pattern, verdict)
+    metrics = execute_spec(spec).metrics
     return {
-        "decided": metrics.decided,
-        "safe": metrics.safe,
-        "decision_time": metrics.last_decision_time,
+        "decided": metrics["decided"],
+        "safe": metrics["safe"],
+        "decision_time": metrics["decision_time"],
         "decision_after_gst": (
-            metrics.last_decision_time - config["gst"]
-            if metrics.last_decision_time is not None
+            metrics["decision_time"] - gst
+            if metrics["decision_time"] is not None
             else None
         ),
-        "rounds": metrics.max_decision_round,
-        "broadcasts": metrics.broadcasts,
+        "rounds": metrics["rounds"],
+        "broadcasts": metrics["broadcasts"],
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, engine: Engine | None = None) -> ExperimentResult:
     """Run the E8 sweep and return the aggregated result."""
+    engine = engine or Engine()
     if quick:
         parameters = {
             "n": [5],
@@ -94,7 +86,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
         repetitions = 3
     sweep = ParameterSweep(parameters, repetitions=repetitions, base_seed=seed)
-    rows = sweep.run(_run_one)
+    rows = engine.sweep(_run_one, sweep)
     aggregated = aggregate_rows(
         rows,
         group_by=["n", "distinct_ids", "gst"],

@@ -1,0 +1,120 @@
+"""The library's front door: declarative scenarios, one engine, many cores.
+
+``repro.runtime`` is the single entry point every workload flows through —
+simulations, parameter sweeps, and the experiments of EXPERIMENTS.md::
+
+    from repro.runtime import Engine, scenario, partial_sync, cascading
+
+    spec = (
+        scenario("any-failures")
+        .processes(8).homonyms([3, 3, 2])
+        .crashes(cascading(5, first_at=6.0, interval=4.0))
+        .detectors("HOmega", "HSigma", stabilization=20.0)
+        .consensus("homega_hsigma")
+        .horizon(700.0).seed(7)
+        .build()
+    )
+    record = Engine().run(spec)                  # one run
+    records = Engine(jobs=4).run_many(           # a multi-core sweep
+        spec.with_seed(s) for s in range(32)
+    )
+
+The pieces:
+
+* :mod:`~repro.runtime.spec` — :class:`ScenarioSpec` and its serializable
+  parts (membership shape, timing, crashes, detectors), with
+  ``to_dict``/``from_dict`` round-tripping;
+* :mod:`~repro.runtime.builder` — the fluent :func:`scenario` builder, which
+  validates combinations against the paper's requirement table;
+* :mod:`~repro.runtime.registry` — name → component registries for
+  detectors, consensus algorithms, programs, property checks, and
+  experiments;
+* :mod:`~repro.runtime.engine` — the :class:`Engine`, :class:`RunRecord`,
+  and the module-level :func:`execute_spec` worker entry point;
+* :mod:`~repro.runtime.executors` — :class:`SerialExecutor` and the
+  process-pool :class:`ParallelExecutor`.
+"""
+
+from ..analysis.runner import ParameterSweep
+from .builder import ScenarioBuilder, ScenarioValidationError, scenario, validate_spec
+from .engine import (
+    Engine,
+    RunRecord,
+    default_consensus_detectors,
+    distinct_proposals,
+    execute_spec,
+    run_once,
+)
+from .executors import Executor, ParallelExecutor, SerialExecutor, executor_for
+from .registry import (
+    CHECKS,
+    CONSENSUS,
+    DETECTORS,
+    EXPERIMENTS,
+    PROGRAMS,
+    Registry,
+    register_check,
+    register_consensus,
+    register_detector,
+    register_experiment,
+    register_program,
+)
+from .spec import (
+    CrashSpec,
+    DetectorSpec,
+    MembershipSpec,
+    ScenarioSpec,
+    TimingSpec,
+    asynchronous,
+    cascading,
+    crashes_at,
+    fraction,
+    leaders,
+    minority,
+    no_crashes,
+    partial_sync,
+    synchronous,
+)
+
+__all__ = [
+    "CHECKS",
+    "CONSENSUS",
+    "CrashSpec",
+    "DETECTORS",
+    "DetectorSpec",
+    "EXPERIMENTS",
+    "Engine",
+    "Executor",
+    "MembershipSpec",
+    "PROGRAMS",
+    "ParallelExecutor",
+    "ParameterSweep",
+    "Registry",
+    "RunRecord",
+    "ScenarioBuilder",
+    "ScenarioSpec",
+    "ScenarioValidationError",
+    "SerialExecutor",
+    "TimingSpec",
+    "asynchronous",
+    "cascading",
+    "crashes_at",
+    "default_consensus_detectors",
+    "distinct_proposals",
+    "execute_spec",
+    "executor_for",
+    "fraction",
+    "leaders",
+    "minority",
+    "no_crashes",
+    "partial_sync",
+    "register_check",
+    "register_consensus",
+    "register_detector",
+    "register_experiment",
+    "register_program",
+    "run_once",
+    "scenario",
+    "synchronous",
+    "validate_spec",
+]

@@ -1,0 +1,301 @@
+"""Fluent construction of validated :class:`ScenarioSpec` objects.
+
+The builder is the ergonomic way to author scenarios::
+
+    spec = (
+        scenario("figure9-demo")
+        .processes(8)
+        .homonyms([3, 3, 2])
+        .timing(partial_sync(gst=30.0, delta=1.0))
+        .crashes(cascading(5))
+        .detectors("HOmega", "HSigma", stabilization=20.0)
+        .consensus("homega_hsigma")
+        .horizon(700.0)
+        .seed(7)
+        .build()
+    )
+
+``build()`` validates the combination against the paper's requirement table
+before returning the (immutable, serializable) spec:
+
+* every detector class the chosen consensus algorithm queries must be
+  attached — either as an oracle or published by a stacked implementation
+  program (the E8 configuration);
+* majority-based algorithms (Figure 8 and its baselines) reject crash
+  schedules that can kill ``⌈n/2⌉`` or more processes (``t < n/2``);
+* HΣ-based algorithms (Figure 9) accept any number of crashes;
+* algorithms specialised to a homonymy extreme (the classical Ω and anonymous
+  AΩ baselines) require the matching membership;
+* implementation programs run in their system family only (Figure 6 needs
+  partial synchrony, Figure 7 needs synchrony), and consensus algorithms are
+  asynchronous-family programs, never synchronous ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import ConfigurationError
+from .registry import CHECKS, CONSENSUS, LEADER_DETECTORS, PROGRAMS
+from .spec import (
+    CrashSpec,
+    DetectorSpec,
+    MembershipSpec,
+    ScenarioSpec,
+    TimingSpec,
+    no_crashes,
+)
+
+__all__ = ["scenario", "ScenarioBuilder", "ScenarioValidationError"]
+
+
+class ScenarioValidationError(ConfigurationError):
+    """A scenario combination contradicts the paper's requirement table."""
+
+
+class ScenarioBuilder:
+    """Accumulates scenario parts; ``build()`` validates and freezes them."""
+
+    def __init__(self, name: str = "") -> None:
+        self._name = name
+        self._n: int | None = None
+        # Shapes that need n are kept symbolic until build(), so the call
+        # order of processes() and the shape method does not matter.
+        self._shape: str | None = None
+        self._shape_params: dict[str, Any] = {}
+        self._membership: MembershipSpec | None = None
+        self._timing: TimingSpec | None = None
+        self._crashes: CrashSpec = no_crashes()
+        self._detectors: list[DetectorSpec] = []
+        self._consensus: str | None = None
+        self._consensus_params: dict[str, Any] = {}
+        self._program: str | None = None
+        self._program_params: dict[str, Any] = {}
+        self._checks: list[str] = []
+        self._horizon: float = 500.0
+        self._seed: int = 0
+
+    # -- membership ----------------------------------------------------
+    def processes(self, n: int) -> "ScenarioBuilder":
+        """Declare the system size ``n`` (combined with a shape method)."""
+        self._n = n
+        return self
+
+    def homonyms(self, groups: Sequence[int]) -> "ScenarioBuilder":
+        """Homonymy groups by size: ``[3, 3, 2]`` = 8 processes, 3 ids."""
+        return self.membership(MembershipSpec("groups", groups=tuple(groups)))
+
+    def distinct_ids(self, distinct: int) -> "ScenarioBuilder":
+        """``n`` processes spread evenly over ``distinct`` identifiers."""
+        return self._set_shape("distinct_ids", distinct=distinct)
+
+    def unique_ids(self) -> "ScenarioBuilder":
+        """All identifiers distinct (classical AS extreme)."""
+        return self._set_shape("unique")
+
+    def anonymous(self) -> "ScenarioBuilder":
+        """One shared identifier (anonymous AAS extreme)."""
+        return self._set_shape("anonymous")
+
+    def identities(self, identities: Sequence[Any]) -> "ScenarioBuilder":
+        """An explicit identifier list, e.g. ``["A", "A", "B"]``."""
+        return self.membership(MembershipSpec("explicit", identities=tuple(identities)))
+
+    def random_ids(self, *, domain_size: int, seed: int = 0) -> "ScenarioBuilder":
+        """Identifiers drawn uniformly from a bounded domain."""
+        return self._set_shape("random", domain_size=domain_size, seed=seed)
+
+    def membership(self, spec: MembershipSpec) -> "ScenarioBuilder":
+        """Use a pre-built membership spec."""
+        self._membership = spec
+        self._shape = None
+        self._shape_params = {}
+        return self
+
+    def _set_shape(self, kind: str, **params: Any) -> "ScenarioBuilder":
+        self._shape = kind
+        self._shape_params = params
+        self._membership = None
+        return self
+
+    # -- environment ---------------------------------------------------
+    def timing(self, spec: TimingSpec) -> "ScenarioBuilder":
+        """Set the timing model (see :func:`asynchronous`/:func:`partial_sync`/
+        :func:`synchronous` in :mod:`repro.runtime.spec`)."""
+        self._timing = spec
+        return self
+
+    def crashes(self, spec: CrashSpec) -> "ScenarioBuilder":
+        """Set the crash schedule (see the crash helpers in the spec module)."""
+        self._crashes = spec
+        return self
+
+    # -- detectors and workload ----------------------------------------
+    def detectors(
+        self,
+        *detectors: str | DetectorSpec,
+        stabilization: float | None = None,
+        noise_period: float | None = 5.0,
+    ) -> "ScenarioBuilder":
+        """Attach detector oracles by name (or pre-built specs).
+
+        ``stabilization`` applies to every named detector; ``noise_period``
+        only to the leader-electing ones (Ω, AΩ, HΩ).
+        """
+        for detector in detectors:
+            if isinstance(detector, DetectorSpec):
+                self._detectors.append(detector)
+                continue
+            params: dict[str, Any] = {}
+            if stabilization is not None:
+                params["stabilization_time"] = stabilization
+            if detector in LEADER_DETECTORS and noise_period is not None:
+                params["noise_period"] = noise_period
+            self._detectors.append(DetectorSpec(detector, params))
+        return self
+
+    def consensus(self, name: str, **params: Any) -> "ScenarioBuilder":
+        """Select the consensus algorithm by registry name."""
+        self._consensus = name
+        self._consensus_params = params
+        return self
+
+    def program(self, name: str, **params: Any) -> "ScenarioBuilder":
+        """Select a detector-implementation program by registry name.
+
+        Combined with :meth:`consensus`, the program is stacked underneath
+        the consensus algorithm on every process (the E8 configuration).
+        """
+        self._program = name
+        self._program_params = params
+        return self
+
+    def check(self, *names: str) -> "ScenarioBuilder":
+        """Evaluate detector property checkers over the finished trace."""
+        self._checks.extend(names)
+        return self
+
+    # -- run control ---------------------------------------------------
+    def horizon(self, horizon: float) -> "ScenarioBuilder":
+        """Simulated-time bound for the run."""
+        self._horizon = horizon
+        return self
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        """Root seed for every RNG stream of the run."""
+        self._seed = seed
+        return self
+
+    # -- build ---------------------------------------------------------
+    def build(self) -> ScenarioSpec:
+        """Validate the combination and return the frozen spec."""
+        if self._shape is not None:
+            if self._n is None:
+                raise ScenarioValidationError(
+                    f"{self._shape} membership shapes need the system size: "
+                    "call processes(n) as well"
+                )
+            membership_spec = MembershipSpec(self._shape, n=self._n, **self._shape_params)
+        elif self._membership is not None:
+            membership_spec = self._membership
+            if self._n is not None and membership_spec.size != self._n:
+                raise ScenarioValidationError(
+                    f"processes({self._n}) contradicts the membership shape "
+                    f"({membership_spec.size} processes)"
+                )
+        else:
+            if self._n is None:
+                raise ScenarioValidationError(
+                    "a scenario needs a membership: call processes(n) plus a "
+                    "shape method (homonyms/distinct_ids/unique_ids/anonymous)"
+                )
+            membership_spec = MembershipSpec("unique", n=self._n)
+
+        timing_spec = self._timing or TimingSpec("asynchronous", {"min_latency": 0.1, "max_latency": 2.0})
+        spec = ScenarioSpec(
+            membership=membership_spec,
+            timing=timing_spec,
+            crashes=self._crashes,
+            detectors=tuple(self._detectors),
+            consensus=self._consensus,
+            consensus_params=dict(self._consensus_params),
+            program=self._program,
+            program_params=dict(self._program_params),
+            checks=tuple(self._checks),
+            horizon=self._horizon,
+            seed=self._seed,
+            name=self._name,
+        )
+        validate_spec(spec)
+        return spec
+
+
+def scenario(name: str = "") -> ScenarioBuilder:
+    """Start a fluent scenario description (the library's front door)."""
+    return ScenarioBuilder(name)
+
+
+def validate_spec(spec: ScenarioSpec) -> None:
+    """Check a spec against the paper's requirement table (raises on error)."""
+    if spec.consensus is None and spec.program is None:
+        raise ScenarioValidationError(
+            "a scenario needs a workload: pick a consensus algorithm, a "
+            "detector-implementation program, or both (stacked)"
+        )
+
+    membership = spec.membership.build()
+    n = membership.size
+    worst_faulty = spec.crashes.worst_case_faulty(n)
+
+    provided = {detector.name for detector in spec.detectors}
+    if spec.program is not None:
+        program_entry = PROGRAMS.resolve(spec.program)
+        published = program_entry.provides_detector(spec.program_params)
+        if published:
+            provided.add(published)
+        if (
+            program_entry.requires_timing is not None
+            and spec.timing.kind != program_entry.requires_timing
+        ):
+            raise ScenarioValidationError(
+                f"program {spec.program!r} ({program_entry.paper_item}) requires "
+                f"{program_entry.requires_timing!r} timing, got {spec.timing.kind!r}"
+            )
+
+    for check in spec.checks:
+        CHECKS.resolve(check)
+
+    if spec.consensus is None:
+        return
+
+    entry = CONSENSUS.resolve(spec.consensus)
+    if spec.timing.kind == "synchronous":
+        raise ScenarioValidationError(
+            "the consensus algorithms are asynchronous-family programs; "
+            "a synchronous (HSS) timing model cannot drive them"
+        )
+    missing = [name for name in entry.requires_detectors if name not in provided]
+    if missing:
+        raise ScenarioValidationError(
+            f"consensus {spec.consensus!r} ({entry.paper_item}) queries "
+            f"{', '.join(entry.requires_detectors)} but "
+            f"{', '.join(missing)} is not attached (and no stacked program "
+            "publishes it)"
+        )
+    if entry.needs_majority and 2 * worst_faulty >= n:
+        raise ScenarioValidationError(
+            f"consensus {spec.consensus!r} ({entry.paper_item}) assumes a "
+            f"majority of correct processes (t < n/2), but the crash schedule "
+            f"can kill {worst_faulty} of {n}; use an HΣ-based algorithm "
+            "(e.g. 'homega_hsigma') for any-failures runs"
+        )
+    if entry.membership_constraint == "unique" and not membership.is_uniquely_identified:
+        raise ScenarioValidationError(
+            f"consensus {spec.consensus!r} is only defined for unique "
+            "identifiers; the membership has homonyms"
+        )
+    if entry.membership_constraint == "anonymous" and not membership.is_anonymous:
+        raise ScenarioValidationError(
+            f"consensus {spec.consensus!r} is only defined for anonymous "
+            "systems; the membership has distinct identifiers"
+        )

@@ -1,0 +1,299 @@
+"""The execution engine: one spec, many specs, or whole parameter sweeps.
+
+The :class:`Engine` is the single place where scenarios become runs.  It
+dispatches work through a pluggable executor
+(:class:`~repro.runtime.executors.SerialExecutor` by default, a
+process-pool-backed :class:`~repro.runtime.executors.ParallelExecutor` for
+multi-core sweeps) and returns structured :class:`RunRecord` objects, which it
+can also append to a JSONL log (written once each batch of work returns).
+
+Three entry points cover every workload in the repository:
+
+* :meth:`Engine.run` — execute one :class:`~repro.runtime.spec.ScenarioSpec`;
+* :meth:`Engine.run_many` / :meth:`Engine.run_sweep` — execute an iterable of
+  specs, or a :class:`~repro.analysis.runner.ParameterSweep` of configs turned
+  into specs by a ``make_spec`` function;
+* :meth:`Engine.sweep` — dispatch a custom ``run_one(config) -> dict``
+  function over a :class:`ParameterSweep` (what the experiment modules use
+  when their metric extraction goes beyond the generic record).
+
+Everything a worker process receives is plain data or a module-level
+function, so the same call works serially and in parallel and produces
+identical rows for identical seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..analysis.metrics import consensus_metrics
+from ..analysis.runner import ParameterSweep, merge_row
+from ..consensus import validate_consensus
+from ..membership import Membership
+from ..sim import CompositeProgram, CrashSchedule, Simulation, TimingModel, build_system
+from ..sim.failures import FailurePattern
+from ..sim.system import ProgramFactory
+from .executors import Executor, executor_for
+from .registry import CHECKS, CONSENSUS, DETECTORS, PROGRAMS
+from .spec import ScenarioSpec
+
+__all__ = [
+    "RunRecord",
+    "Engine",
+    "execute_spec",
+    "run_once",
+    "distinct_proposals",
+    "default_consensus_detectors",
+]
+
+
+def distinct_proposals(membership: Membership) -> dict:
+    """One distinct proposal per process (so agreement is non-trivial)."""
+    return {process: f"value-{process.index}" for process in membership.processes}
+
+
+def default_consensus_detectors(stabilization: float, *, noise_period: float | None = 5.0):
+    """The HΩ + HΣ oracle pair the consensus experiments attach by default."""
+    homega = DETECTORS.resolve("HOmega")
+    hsigma = DETECTORS.resolve("HSigma")
+    return {
+        "HOmega": homega(
+            {"stabilization_time": stabilization, "noise_period": noise_period}
+        ),
+        "HSigma": hsigma({"stabilization_time": stabilization}),
+    }
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The structured outcome of one run.
+
+    ``config`` echoes the input (a spec's ``to_dict`` or a sweep config) and
+    ``metrics`` holds the measured outcome; both are plain JSON-serializable
+    data, so records from serial and parallel runs compare equal and a JSONL
+    log line is just ``to_dict()``.
+    """
+
+    scenario: str
+    seed: int
+    config: Mapping[str, Any] = field(default_factory=dict)
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", dict(self.config))
+        object.__setattr__(self, "metrics", dict(self.metrics))
+
+    def row(self) -> dict:
+        """Flatten into one result row (metrics win on key collisions)."""
+        return {**{k: v for k, v in self.config.items() if not isinstance(v, (dict, list))},
+                **self.metrics}
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            scenario=payload.get("scenario", ""),
+            seed=payload.get("seed", 0),
+            config=dict(payload.get("config", {})),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+
+def run_once(
+    *,
+    membership: Membership,
+    timing: TimingModel,
+    program_factory: ProgramFactory,
+    crash_schedule: CrashSchedule | None = None,
+    detectors: Mapping[str, Any] | None = None,
+    proposals: Mapping[Any, Any] | None = None,
+    horizon: float = 500.0,
+    seed: int = 0,
+    expect_decisions: bool = True,
+    checks: Iterable[str] = (),
+    scenario: str = "",
+    config: Mapping[str, Any] | None = None,
+) -> RunRecord:
+    """Execute one fully-materialised configuration and measure the outcome.
+
+    This is the shared execution path under :func:`execute_spec` and the
+    legacy ``run_consensus_once`` shim: build the system, run the simulation
+    (stopping early once every correct process has decided, when decisions
+    are expected), validate, and collect metrics.
+    """
+    schedule = crash_schedule or CrashSchedule.none()
+    system = build_system(
+        membership=membership,
+        timing=timing,
+        program_factory=program_factory,
+        crash_schedule=schedule,
+        detectors=dict(detectors or {}),
+        seed=seed,
+        name=scenario,
+    )
+    simulation = Simulation(system)
+    if expect_decisions:
+        trace = simulation.run(
+            until=horizon, stop_when=lambda sim: sim.all_correct_decided()
+        )
+    else:
+        trace = simulation.run(until=horizon)
+    pattern = FailurePattern(membership, schedule)
+
+    metrics: dict[str, Any] = {}
+    if expect_decisions:
+        verdict = validate_consensus(
+            trace, pattern, dict(proposals or {}), require_termination=False
+        )
+        measured = consensus_metrics(trace, pattern, verdict)
+        metrics.update(
+            {
+                "decided": measured.decided,
+                "safe": measured.safe,
+                "decision_time": measured.last_decision_time,
+                "rounds": measured.max_decision_round,
+                "broadcasts": measured.broadcasts,
+                "message_copies": measured.message_copies,
+            }
+        )
+    for check in checks:
+        result = CHECKS.resolve(check)(trace, pattern)
+        metrics[f"{check}_ok"] = result.ok
+        metrics[f"{check}_time"] = result.stabilization_time
+    return RunRecord(scenario=scenario, seed=seed, config=config or {}, metrics=metrics)
+
+
+def execute_spec(spec: ScenarioSpec) -> RunRecord:
+    """Materialise and execute one declarative scenario.
+
+    Module-level on purpose: the :class:`ParallelExecutor` pickles this
+    function by reference and the spec by value, so a sweep of specs fans out
+    over worker processes with no extra machinery.
+    """
+    membership = spec.membership.build()
+    proposals = distinct_proposals(membership) if spec.consensus else None
+
+    consensus_entry = CONSENSUS.resolve(spec.consensus) if spec.consensus else None
+    program_entry = PROGRAMS.resolve(spec.program) if spec.program else None
+
+    def factory(pid, identity):
+        programs = []
+        if program_entry is not None:
+            programs.append(program_entry.build(spec.program_params))
+        if consensus_entry is not None:
+            programs.append(
+                consensus_entry.build(proposals[pid], membership, spec.consensus_params)
+            )
+        return programs[0] if len(programs) == 1 else CompositeProgram(*programs)
+
+    detectors = {
+        detector.name: DETECTORS.resolve(detector.name)(detector.params)
+        for detector in spec.detectors
+    }
+    return run_once(
+        membership=membership,
+        timing=spec.timing.build(),
+        program_factory=factory,
+        crash_schedule=spec.crashes.build(membership),
+        detectors=detectors,
+        proposals=proposals,
+        horizon=spec.horizon,
+        seed=spec.seed,
+        expect_decisions=spec.consensus is not None,
+        checks=spec.checks,
+        scenario=spec.name,
+        config=spec.to_dict(),
+    )
+
+
+class Engine:
+    """Executes scenarios and sweeps through a pluggable executor."""
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        *,
+        jobs: int | None = None,
+        jsonl_path: str | None = None,
+    ) -> None:
+        if executor is not None and jobs is not None:
+            raise ValueError("pass either an executor or jobs, not both")
+        self.executor: Executor = executor or executor_for(jobs)
+        self.jsonl_path = jsonl_path
+
+    # -- declarative specs ---------------------------------------------
+    def run(self, spec: ScenarioSpec) -> RunRecord:
+        """Execute one scenario and return its record."""
+        record = execute_spec(spec)
+        self._emit(record.to_dict())
+        return record
+
+    def run_many(self, specs: Iterable[ScenarioSpec]) -> list[RunRecord]:
+        """Execute many scenarios (in parallel when the executor allows)."""
+        records = self.executor.map(execute_spec, list(specs))
+        for record in records:
+            self._emit(record.to_dict())
+        return records
+
+    def run_sweep(
+        self,
+        make_spec: Callable[[dict], ScenarioSpec],
+        sweep: ParameterSweep | Iterable[Mapping[str, Any]],
+    ) -> list[dict]:
+        """Turn every sweep config into a spec, execute all, return rows.
+
+        Each returned row is the sweep config (minus the bookkeeping
+        ``repetition`` field) merged with the record's metrics — the shape
+        :func:`repro.analysis.runner.aggregate_rows` consumes.
+        """
+        configs = [dict(config) for config in sweep]
+        specs = [make_spec(dict(config)) for config in configs]
+        records = self.run_many(specs)
+        return [
+            merge_row(config, record.metrics)
+            for config, record in zip(configs, records)
+        ]
+
+    # -- custom per-config functions -----------------------------------
+    def sweep(
+        self,
+        run_one: Callable[[dict], Mapping[str, Any]],
+        sweep: ParameterSweep | Iterable[Mapping[str, Any]],
+    ) -> list[dict]:
+        """Dispatch ``run_one`` over every config of a sweep.
+
+        ``run_one`` must be a module-level function (picklable) returning a
+        metrics mapping; rows come back in sweep order regardless of the
+        executor, so parallel runs reproduce serial ones exactly.
+        """
+        configs = [dict(config) for config in sweep]
+        # Copies go to run_one so a mutating run_one cannot corrupt the rows
+        # (which would also make serial and parallel runs diverge).
+        outcomes = self.executor.map(run_one, [dict(config) for config in configs])
+        rows = [merge_row(config, outcome) for config, outcome in zip(configs, outcomes)]
+        for row in rows:
+            self._emit(row)
+        return rows
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Raw executor access: apply ``fn`` to every item, in order."""
+        return self.executor.map(fn, list(items))
+
+    # -- bookkeeping ---------------------------------------------------
+    def _emit(self, payload: Mapping[str, Any]) -> None:
+        if not self.jsonl_path:
+            return
+        with open(self.jsonl_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+
+    def __repr__(self) -> str:
+        return f"Engine(executor={self.executor!r})"

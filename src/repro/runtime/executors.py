@@ -1,0 +1,77 @@
+"""Pluggable executors: how the Engine maps work over configurations.
+
+Executors only need one method — ``map(fn, items) -> list`` — returning the
+results *in input order*, which is what keeps serial and parallel runs
+row-for-row identical (every item carries its own seed; nothing depends on
+completion order).
+
+``fn`` and the items must be picklable for :class:`ParallelExecutor`
+(module-level functions and plain-data configs/specs are; closures are not —
+keep per-run lambdas inside the worker function).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Protocol, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "executor_for"]
+
+
+class Executor(Protocol):
+    """The executor interface the Engine dispatches through."""
+
+    jobs: int
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Apply ``fn`` to every item, returning results in input order."""
+        ...
+
+
+class SerialExecutor:
+    """Run every item in-process, one after another (the default)."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan items out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Results still come back in input order (``pool.map`` preserves it), so a
+    parallel sweep produces byte-identical rows to a serial one for the same
+    seeds.  Work smaller than two items short-circuits to the serial path —
+    no pool is spawned just to run one simulation.
+    """
+
+    def __init__(self, jobs: int | None = None, *, chunk_multiplier: int = 4) -> None:
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be at least 1, got {jobs}")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self._chunk_multiplier = max(1, chunk_multiplier)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        work: Sequence[Any] = list(items)
+        if len(work) < 2 or self.jobs == 1:
+            return [fn(item) for item in work]
+        chunksize = max(1, len(work) // (self.jobs * self._chunk_multiplier))
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(work))) as pool:
+            return list(pool.map(fn, work, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def executor_for(jobs: int | None) -> Executor:
+    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a process pool."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)

@@ -1,0 +1,333 @@
+"""Name → component registries for the runtime front door.
+
+Experiments, examples, and the CLI resolve detectors, consensus algorithms,
+detector-implementation programs, property checkers, and whole experiments by
+name, so new scenarios are data instead of import plumbing.  Each registry is
+a :class:`Registry` instance; registering a duplicate name raises unless
+``overwrite=True``, so plugins cannot silently shadow the paper's components.
+
+The consensus registry additionally stores each algorithm's *requirements* —
+the paper's assumption table (which detector classes it queries, whether it
+needs a majority of correct processes, and which homonymy extreme it is
+specialised to).  The :class:`~repro.runtime.builder.ScenarioBuilder` enforces
+these at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from ..algorithms import (
+    HSigmaSynchronousProgram,
+    OhpPollingProgram,
+    ScriptAliveProgram,
+)
+from ..consensus import (
+    AnonymousAOmegaASigmaConsensus,
+    AnonymousAOmegaConsensus,
+    ClassicalOmegaConsensus,
+    HOmegaHSigmaConsensus,
+    HOmegaMajorityConsensus,
+    NoCoordinationConsensus,
+)
+from ..detectors import (
+    AOmegaOracle,
+    APOracle,
+    ASigmaOracle,
+    DiamondHPOracle,
+    DiamondPOracle,
+    HOmegaOracle,
+    HSigmaOracle,
+    OmegaOracle,
+    PerfectOracle,
+    ScriptEOracle,
+    SigmaOracle,
+    check_aomega_election,
+    check_ap,
+    check_asigma,
+    check_diamond_hp,
+    check_diamond_p,
+    check_homega_election,
+    check_hsigma,
+    check_omega_election,
+    check_script_e,
+    check_sigma,
+)
+from ..errors import ConfigurationError
+from ..membership import Membership
+
+__all__ = [
+    "Registry",
+    "ConsensusEntry",
+    "DETECTORS",
+    "CONSENSUS",
+    "PROGRAMS",
+    "CHECKS",
+    "EXPERIMENTS",
+    "register_detector",
+    "register_consensus",
+    "register_program",
+    "register_check",
+    "register_experiment",
+]
+
+
+class Registry:
+    """A named component table with explicit registration and lookup."""
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: dict[str, Any] = {}
+
+    def register(self, name: str, entry: Any, *, overwrite: bool = False) -> Any:
+        if not overwrite and name in self._entries:
+            raise ConfigurationError(
+                f"{self._kind} {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def resolve(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ConfigurationError(
+                f"unknown {self._kind} {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Detector oracles: name → ``(params) -> DetectorFactory``.
+DETECTORS = Registry("detector")
+
+#: Consensus algorithms: name → :class:`ConsensusEntry`.
+CONSENSUS = Registry("consensus algorithm")
+
+#: Detector-implementation programs: name → ``(params) -> ProcessProgram``.
+PROGRAMS = Registry("program")
+
+#: Trace property checkers: name → ``(trace, pattern) -> CheckResult``.
+CHECKS = Registry("property check")
+
+#: Whole experiments: id → ``run(quick=..., seed=..., engine=...)``.
+EXPERIMENTS = Registry("experiment")
+
+
+def register_detector(name: str, maker: Callable[..., Any], *, overwrite: bool = False):
+    """Register a detector oracle class under ``name``.
+
+    ``maker`` is called as ``maker(services, **params)`` when the run starts.
+    """
+
+    def factory_of(params: Mapping[str, Any]):
+        fixed = dict(params)
+        return lambda services: maker(services, **fixed)
+
+    return DETECTORS.register(name, factory_of, overwrite=overwrite)
+
+
+@dataclass(frozen=True)
+class ConsensusEntry:
+    """A consensus algorithm plus its paper assumptions.
+
+    ``build(proposal, membership, params)`` instantiates the program for one
+    process.  ``requires_detectors`` lists the detector attachments the
+    algorithm queries; ``needs_majority`` encodes the ``t < n/2`` assumption;
+    ``membership_constraint`` is ``None``, ``"unique"``, or ``"anonymous"``.
+    """
+
+    build: Callable[[Any, Membership, Mapping[str, Any]], Any]
+    requires_detectors: tuple[str, ...] = ()
+    needs_majority: bool = False
+    membership_constraint: str | None = None
+    paper_item: str = ""
+
+
+def register_consensus(
+    name: str,
+    build: Callable[[Any, Membership, Mapping[str, Any]], Any],
+    *,
+    requires_detectors: tuple[str, ...] = (),
+    needs_majority: bool = False,
+    membership_constraint: str | None = None,
+    paper_item: str = "",
+    overwrite: bool = False,
+) -> ConsensusEntry:
+    entry = ConsensusEntry(
+        build=build,
+        requires_detectors=requires_detectors,
+        needs_majority=needs_majority,
+        membership_constraint=membership_constraint,
+        paper_item=paper_item,
+    )
+    return CONSENSUS.register(name, entry, overwrite=overwrite)
+
+
+@dataclass(frozen=True)
+class ProgramEntry:
+    """A detector-implementation program plus its timing requirement."""
+
+    build: Callable[[Mapping[str, Any]], Any]
+    requires_timing: str | None = None
+    paper_item: str = ""
+
+    def provides_detector(self, params: Mapping[str, Any]) -> str | None:
+        """The detector name the program publishes (``detector_name`` param)."""
+        return params.get("detector_name")
+
+
+def register_program(
+    name: str,
+    build: Callable[[Mapping[str, Any]], Any],
+    *,
+    requires_timing: str | None = None,
+    paper_item: str = "",
+    overwrite: bool = False,
+) -> ProgramEntry:
+    entry = ProgramEntry(build=build, requires_timing=requires_timing, paper_item=paper_item)
+    return PROGRAMS.register(name, entry, overwrite=overwrite)
+
+
+def register_check(name: str, checker: Callable[..., Any], *, overwrite: bool = False):
+    return CHECKS.register(name, checker, overwrite=overwrite)
+
+
+def register_experiment(name: str, runner: Callable[..., Any], *, overwrite: bool = False):
+    return EXPERIMENTS.register(name, runner, overwrite=overwrite)
+
+
+# ----------------------------------------------------------------------
+# Built-in detectors (the paper's oracle catalogue)
+# ----------------------------------------------------------------------
+for _name, _oracle in (
+    ("Perfect", PerfectOracle),
+    ("DiamondP", DiamondPOracle),
+    ("Omega", OmegaOracle),
+    ("Sigma", SigmaOracle),
+    ("AP", APOracle),
+    ("AOmega", AOmegaOracle),
+    ("ASigma", ASigmaOracle),
+    ("DiamondHP", DiamondHPOracle),
+    ("HOmega", HOmegaOracle),
+    ("HSigma", HSigmaOracle),
+    ("ScriptE", ScriptEOracle),
+):
+    register_detector(_name, _oracle)
+
+#: Oracles that elect leaders and therefore accept a pre-stabilization
+#: ``noise_period``; the builder only forwards that parameter to these.
+LEADER_DETECTORS = frozenset({"Omega", "AOmega", "HOmega"})
+
+
+# ----------------------------------------------------------------------
+# Built-in consensus algorithms (Section 5 plus baselines/ablations)
+# ----------------------------------------------------------------------
+register_consensus(
+    "homega_majority",
+    lambda proposal, membership, params: HOmegaMajorityConsensus(
+        proposal, n=membership.size, **params
+    ),
+    requires_detectors=("HOmega",),
+    needs_majority=True,
+    paper_item="Figure 8 (Theorem 7)",
+)
+register_consensus(
+    "homega_hsigma",
+    lambda proposal, membership, params: HOmegaHSigmaConsensus(proposal, **params),
+    requires_detectors=("HOmega", "HSigma"),
+    needs_majority=False,
+    paper_item="Figure 9 (Theorem 8)",
+)
+register_consensus(
+    "no_coordination",
+    lambda proposal, membership, params: NoCoordinationConsensus(
+        proposal, n=membership.size, **params
+    ),
+    requires_detectors=("HOmega",),
+    needs_majority=True,
+    paper_item="Figure 8 ablation (E7)",
+)
+register_consensus(
+    "classical_omega",
+    lambda proposal, membership, params: ClassicalOmegaConsensus(
+        proposal, n=membership.size, **params
+    ),
+    requires_detectors=("Omega",),
+    needs_majority=True,
+    membership_constraint="unique",
+    paper_item="classical Ω baseline",
+)
+register_consensus(
+    "anonymous_aomega",
+    lambda proposal, membership, params: AnonymousAOmegaConsensus(
+        proposal, n=membership.size, **params
+    ),
+    requires_detectors=("AOmega",),
+    needs_majority=True,
+    membership_constraint="anonymous",
+    paper_item="Bonnet–Raynal AΩ baseline",
+)
+register_consensus(
+    "aomega_asigma",
+    lambda proposal, membership, params: AnonymousAOmegaASigmaConsensus(
+        proposal, **params
+    ),
+    requires_detectors=("AOmega", "ASigma"),
+    needs_majority=False,
+    membership_constraint="anonymous",
+    paper_item="Figure 9 anonymous instance",
+)
+
+
+# ----------------------------------------------------------------------
+# Built-in detector-implementation programs (Figures 3, 6, 7)
+# ----------------------------------------------------------------------
+register_program(
+    "ohp_polling",
+    lambda params: OhpPollingProgram(**params),
+    requires_timing="partial_sync",
+    paper_item="Figure 6 (◇HP/HΩ in HPS[∅])",
+)
+register_program(
+    "hsigma_sync",
+    lambda params: HSigmaSynchronousProgram(**params),
+    requires_timing="synchronous",
+    paper_item="Figure 7 (HΣ in HSS[∅])",
+)
+register_program(
+    "script_alive",
+    lambda params: ScriptAliveProgram(**params),
+    paper_item="Figure 3 (ℰ)",
+)
+
+
+# ----------------------------------------------------------------------
+# Built-in property checkers
+# ----------------------------------------------------------------------
+for _name, _checker in (
+    ("diamond_p", check_diamond_p),
+    ("omega", check_omega_election),
+    ("sigma", check_sigma),
+    ("ap", check_ap),
+    ("aomega", check_aomega_election),
+    ("asigma", check_asigma),
+    ("diamond_hp", check_diamond_hp),
+    ("homega", check_homega_election),
+    ("hsigma", check_hsigma),
+    ("script_e", check_script_e),
+):
+    register_check(_name, _checker)

@@ -1,0 +1,436 @@
+"""Declarative, serializable scenario descriptions.
+
+A :class:`ScenarioSpec` is a complete run configuration expressed as plain
+data: the membership shape, the timing model, the crash schedule, the detector
+stack, the workload (a consensus algorithm, a detector implementation, or both
+stacked), property checks, the horizon, and the seed.  Because every part is
+data — not callables — a spec can be serialized (``to_dict``/``from_dict``
+round-trip exactly), shipped to a worker process by the
+:class:`~repro.runtime.engine.ParallelExecutor`, stored in JSONL run logs, and
+diffed between experiments.
+
+Specs are usually built with the fluent
+:func:`~repro.runtime.builder.scenario` builder, which also validates the
+combination against the paper's requirement table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from ..identity import ProcessId
+from ..membership import (
+    Membership,
+    anonymous_identities,
+    grouped_identities,
+    random_identities,
+    unique_identities,
+)
+from ..sim.failures import CrashSchedule
+from ..sim.timing import (
+    AsynchronousTiming,
+    PartiallySynchronousTiming,
+    SynchronousTiming,
+    TimingModel,
+)
+from ..workloads.crashes import (
+    cascading_crashes,
+    crash_fraction,
+    leader_targeted_crashes,
+    minority_crashes,
+)
+from ..workloads.homonymy import membership_with_distinct_ids
+
+__all__ = [
+    "MembershipSpec",
+    "TimingSpec",
+    "CrashSpec",
+    "DetectorSpec",
+    "ScenarioSpec",
+    "asynchronous",
+    "partial_sync",
+    "synchronous",
+    "no_crashes",
+    "minority",
+    "cascading",
+    "leaders",
+    "fraction",
+    "crashes_at",
+]
+
+
+def _clean(params: Mapping[str, Any] | None) -> dict[str, Any]:
+    """Copy a parameter mapping, dropping ``None`` values (the defaults)."""
+    return {key: value for key, value in (params or {}).items() if value is not None}
+
+
+# ----------------------------------------------------------------------
+# Membership
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MembershipSpec:
+    """The homonymy pattern, as data.
+
+    ``kind`` selects the generator:
+
+    =================  ====================================================
+    ``distinct_ids``   ``n`` processes over ``distinct`` identifiers
+    ``groups``         explicit homonymy group sizes (``[3, 3, 2]``)
+    ``unique``         classical system, all identifiers distinct
+    ``anonymous``      every process shares one identifier
+    ``random``         identifiers drawn from a bounded domain
+    ``explicit``       a literal identifier list (``["A", "A", "B"]``)
+    =================  ====================================================
+    """
+
+    kind: str
+    n: int | None = None
+    distinct: int | None = None
+    groups: tuple[int, ...] | None = None
+    identities: tuple[Any, ...] | None = None
+    domain_size: int | None = None
+    seed: int | None = None
+    prefix: str | None = None
+
+    def build(self) -> Membership:
+        """Materialise the membership object."""
+        prefix = {} if self.prefix is None else {"prefix": self.prefix}
+        if self.kind == "distinct_ids":
+            return membership_with_distinct_ids(self.n, self.distinct, **prefix)
+        if self.kind == "groups":
+            return grouped_identities(list(self.groups), **prefix)
+        if self.kind == "unique":
+            return unique_identities(self.n, **prefix)
+        if self.kind == "anonymous":
+            return anonymous_identities(self.n)
+        if self.kind == "random":
+            return random_identities(
+                self.n, domain_size=self.domain_size, seed=self.seed or 0, **prefix
+            )
+        if self.kind == "explicit":
+            return Membership.of(list(self.identities))
+        raise ConfigurationError(f"unknown membership kind {self.kind!r}")
+
+    @property
+    def size(self) -> int:
+        """The number of processes the spec describes."""
+        if self.kind == "groups":
+            return sum(self.groups)
+        if self.kind == "explicit":
+            return len(self.identities)
+        if self.n is None:
+            raise ConfigurationError(f"membership kind {self.kind!r} needs n")
+        return self.n
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {"kind": self.kind}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name != "kind" and value is not None:
+                payload[spec_field.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MembershipSpec":
+        data = dict(payload)
+        for key in ("groups", "identities"):
+            if data.get(key) is not None:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+_TIMING_CLASSES: dict[str, type[TimingModel]] = {
+    "asynchronous": AsynchronousTiming,
+    "partial_sync": PartiallySynchronousTiming,
+    "synchronous": SynchronousTiming,
+}
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """A timing model as data: a kind plus its constructor parameters."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TIMING_CLASSES:
+            raise ConfigurationError(
+                f"unknown timing kind {self.kind!r}; "
+                f"expected one of {sorted(_TIMING_CLASSES)}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self) -> TimingModel:
+        return _TIMING_CLASSES[self.kind](**self.params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimingSpec":
+        return cls(kind=payload["kind"], params=dict(payload.get("params", {})))
+
+
+def asynchronous(*, min_latency: float = 0.1, max_latency: float = 2.0, **extra) -> TimingSpec:
+    """Reliable asynchronous links (the consensus experiments' default)."""
+    return TimingSpec(
+        "asynchronous",
+        {"min_latency": min_latency, "max_latency": max_latency, **_clean(extra)},
+    )
+
+
+def partial_sync(
+    gst: float,
+    delta: float,
+    *,
+    min_latency: float = 0.1,
+    pre_gst_loss: float | None = None,
+    pre_gst_max_latency: float | None = None,
+    max_step: float | None = None,
+) -> TimingSpec:
+    """Partially synchronous processes, eventually timely links (HPS)."""
+    return TimingSpec(
+        "partial_sync",
+        {
+            "gst": gst,
+            "delta": delta,
+            "min_latency": min_latency,
+            **_clean(
+                {
+                    "pre_gst_loss": pre_gst_loss,
+                    "pre_gst_max_latency": pre_gst_max_latency,
+                    "max_step": max_step,
+                }
+            ),
+        },
+    )
+
+
+def synchronous(step: float = 1.0, *, delivery_fraction: float | None = None) -> TimingSpec:
+    """Lock-step synchronous rounds (HSS)."""
+    return TimingSpec(
+        "synchronous",
+        {"step": step, **_clean({"delivery_fraction": delivery_fraction})},
+    )
+
+
+# ----------------------------------------------------------------------
+# Crashes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashSpec:
+    """A crash schedule as data, resolved against the membership at run time."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self, membership: Membership) -> CrashSchedule:
+        params = dict(self.params)
+        if self.kind == "none":
+            return CrashSchedule.none()
+        if self.kind == "minority":
+            return minority_crashes(membership, **params)
+        if self.kind == "cascading":
+            count = min(params.pop("count"), membership.size - 1)
+            return cascading_crashes(membership, count, **params)
+        if self.kind == "leaders":
+            count = params.pop("count", None)
+            if count is None:
+                count = max(1, (membership.size - 1) // 2)
+            return leader_targeted_crashes(membership, count, **params)
+        if self.kind == "fraction":
+            return crash_fraction(membership, params.pop("fraction"), **params)
+        if self.kind == "at_times":
+            times = {
+                ProcessId(int(index)): when
+                for index, when in params.get("times", {}).items()
+            }
+            return CrashSchedule.at_times(times)
+        raise ConfigurationError(f"unknown crash kind {self.kind!r}")
+
+    def worst_case_faulty(self, n: int) -> int:
+        """An upper bound on the number of crashes, for validation."""
+        params = self.params
+        if self.kind == "none":
+            return 0
+        if self.kind == "minority":
+            count = params.get("count")
+            return (n - 1) // 2 if count is None else min(count, n - 1)
+        if self.kind == "cascading":
+            return min(params["count"], n - 1)
+        if self.kind == "leaders":
+            count = params.get("count")
+            return max(1, (n - 1) // 2) if count is None else min(count, n - 1)
+        if self.kind == "fraction":
+            return min(int(round(params["fraction"] * n)), n - 1)
+        if self.kind == "at_times":
+            return len(params.get("times", {}))
+        raise ConfigurationError(f"unknown crash kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CrashSpec":
+        params = dict(payload.get("params", {}))
+        if payload["kind"] == "at_times" and "times" in params:
+            # JSON turns the integer process indices into strings; undo that.
+            params["times"] = {int(index): when for index, when in params["times"].items()}
+        return cls(kind=payload["kind"], params=params)
+
+
+def no_crashes() -> CrashSpec:
+    """No process ever crashes."""
+    return CrashSpec("none")
+
+
+def minority(
+    *, at: float = 10.0, stagger: float = 2.0, count: int | None = None
+) -> CrashSpec:
+    """Crash a minority (the largest one unless ``count`` is given)."""
+    return CrashSpec("minority", _clean({"at": at, "stagger": stagger, "count": count}))
+
+
+def cascading(
+    count: int,
+    *,
+    first_at: float = 5.0,
+    interval: float = 10.0,
+    partial_broadcast_fraction: float | None = None,
+) -> CrashSpec:
+    """Crash ``count`` processes one after another (capped at ``n − 1``)."""
+    return CrashSpec(
+        "cascading",
+        {
+            "count": count,
+            "first_at": first_at,
+            "interval": interval,
+            **_clean({"partial_broadcast_fraction": partial_broadcast_fraction}),
+        },
+    )
+
+
+def leaders(count: int | None = None, *, at: float = 10.0, stagger: float = 2.0) -> CrashSpec:
+    """Crash the likely leaders (smallest identifiers) first."""
+    return CrashSpec("leaders", _clean({"count": count, "at": at, "stagger": stagger}))
+
+
+def fraction(value: float, *, at: float = 10.0, stagger: float = 2.0, seed: int = 0) -> CrashSpec:
+    """Crash a random fraction of the processes."""
+    return CrashSpec("fraction", {"fraction": value, "at": at, "stagger": stagger, "seed": seed})
+
+
+def crashes_at(times: Mapping[int, float]) -> CrashSpec:
+    """Crash explicit process indices at explicit times."""
+    return CrashSpec("at_times", {"times": {int(k): v for k, v in times.items()}})
+
+
+# ----------------------------------------------------------------------
+# Detectors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DetectorSpec:
+    """One detector attachment: a registry name plus oracle parameters."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DetectorSpec":
+        return cls(name=payload["name"], params=dict(payload.get("params", {})))
+
+
+# ----------------------------------------------------------------------
+# The full scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable run configuration (see the module docstring).
+
+    ``consensus`` and ``program`` name registry entries
+    (:mod:`repro.runtime.registry`); when both are set the program is stacked
+    *under* the consensus algorithm on every process, which is how the E8
+    oracle-free configuration is expressed.  ``checks`` names detector
+    property checkers evaluated over the finished trace.
+    """
+
+    membership: MembershipSpec
+    timing: TimingSpec = field(default_factory=asynchronous)
+    crashes: CrashSpec = field(default_factory=no_crashes)
+    detectors: tuple[DetectorSpec, ...] = ()
+    consensus: str | None = None
+    consensus_params: Mapping[str, Any] = field(default_factory=dict)
+    program: str | None = None
+    program_params: Mapping[str, Any] = field(default_factory=dict)
+    checks: tuple[str, ...] = ()
+    horizon: float = 500.0
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "detectors", tuple(self.detectors))
+        object.__setattr__(self, "checks", tuple(self.checks))
+        object.__setattr__(self, "consensus_params", dict(self.consensus_params))
+        object.__setattr__(self, "program_params", dict(self.program_params))
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this spec with a different seed (for sweeps)."""
+        return ScenarioSpec.from_dict({**self.to_dict(), "seed": seed})
+
+    def to_dict(self) -> dict:
+        return {
+            "membership": self.membership.to_dict(),
+            "timing": self.timing.to_dict(),
+            "crashes": self.crashes.to_dict(),
+            "detectors": [detector.to_dict() for detector in self.detectors],
+            "consensus": self.consensus,
+            "consensus_params": dict(self.consensus_params),
+            "program": self.program,
+            "program_params": dict(self.program_params),
+            "checks": list(self.checks),
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            membership=MembershipSpec.from_dict(payload["membership"]),
+            timing=TimingSpec.from_dict(payload.get("timing", {"kind": "asynchronous"})),
+            crashes=CrashSpec.from_dict(payload.get("crashes", {"kind": "none"})),
+            detectors=tuple(
+                DetectorSpec.from_dict(entry) for entry in payload.get("detectors", ())
+            ),
+            consensus=payload.get("consensus"),
+            consensus_params=dict(payload.get("consensus_params", {})),
+            program=payload.get("program"),
+            program_params=dict(payload.get("program_params", {})),
+            checks=tuple(payload.get("checks", ())),
+            horizon=payload.get("horizon", 500.0),
+            seed=payload.get("seed", 0),
+            name=payload.get("name", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))

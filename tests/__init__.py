@@ -1,0 +1,1 @@
+"""Test package marker so ``from .helpers import ...`` works under pytest."""
