@@ -10,8 +10,17 @@ from repro.detectors import HSigmaOracle, check_hsigma
 from repro.detectors.probe import DetectorProbeProgram, hsigma_probes
 from repro.identity import IdentityMultiset
 from repro.membership import grouped_identities
-from repro.sim import AsynchronousTiming, CrashSchedule, Simulation, build_system
+from repro.sim import (
+    AsynchronousTiming,
+    ComposedLinks,
+    CrashSchedule,
+    JitterLinks,
+    LossyLinks,
+    Simulation,
+    build_system,
+)
 from repro.sim.failures import FailurePattern
+from repro.sim.process import ProcessProgram
 from repro.workloads import minority_crashes
 from repro.workloads.scenarios import ConsensusScenario
 
@@ -60,6 +69,50 @@ def test_hsigma_oracle_probe_run(benchmark):
     trace = benchmark(run_once)
     result = check_hsigma(trace, FailurePattern(membership, schedule))
     assert result.ok, result.violations
+
+
+class _GossipProgram(ProcessProgram):
+    """Broadcast-heavy load: one broadcast per process per time unit."""
+
+    def setup(self, ctx):
+        def chatter():
+            for _ in range(60):
+                ctx.broadcast("GOSSIP")
+                yield ctx.sleep(1.0)
+
+        ctx.spawn(chatter, name="chatter")
+
+
+def _gossip_system(links):
+    membership = grouped_identities([3, 3])
+    return build_system(
+        membership=membership,
+        timing=AsynchronousTiming(min_latency=0.1, max_latency=1.0),
+        program_factory=lambda pid, identity: _GossipProgram(),
+        links=links,
+        seed=4,
+    )
+
+
+def test_broadcast_heavy_run_default_links(benchmark):
+    """6 processes gossiping for 60 time units over the default reliable links.
+
+    This pins the broadcast hot path itself (2160 scheduled deliveries per
+    run); the lazy-label and crash-lookup optimisations show up here.
+    """
+    trace = benchmark(lambda: Simulation(_gossip_system(None)).run(until=70.0))
+    assert trace.message_copies_delivered == trace.message_copies_sent
+
+
+def test_broadcast_heavy_run_under_adversarial_links(benchmark):
+    """The same gossip load through a loss + jitter link pipeline.
+
+    The difference against the default-links benchmark is the cost of the
+    non-default link path (per-copy ``deliveries`` calls and their RNG draws).
+    """
+    links = ComposedLinks((LossyLinks(loss=0.1), JitterLinks(max_jitter=0.5)))
+    trace = benchmark(lambda: Simulation(_gossip_system(links)).run(until=70.0))
+    assert 0 < trace.message_copies_delivered < trace.message_copies_sent
 
 
 def test_multiset_algebra(benchmark):

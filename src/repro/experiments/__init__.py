@@ -15,6 +15,7 @@ from . import (
     e6_homonymy_spectrum,
     e7_coordination_ablation,
     e8_stacked_consensus,
+    e9_fault_envelope,
 )
 from .e1_ohp_convergence import run as run_e1
 from .e2_hsigma_sync import run as run_e2
@@ -24,6 +25,7 @@ from .e5_consensus_hsigma import run as run_e5
 from .e6_homonymy_spectrum import run as run_e6
 from .e7_coordination_ablation import run as run_e7
 from .e8_stacked_consensus import run as run_e8
+from .e9_fault_envelope import run as run_e9
 
 from ..runtime.registry import EXPERIMENTS, register_experiment
 
@@ -36,6 +38,7 @@ ALL_EXPERIMENTS = {
     "E6": run_e6,
     "E7": run_e7,
     "E8": run_e8,
+    "E9": run_e9,
 }
 
 for _name, _runner in ALL_EXPERIMENTS.items():
@@ -52,4 +55,5 @@ __all__ = [
     "run_e6",
     "run_e7",
     "run_e8",
+    "run_e9",
 ]

@@ -2,7 +2,7 @@
 
 Examples::
 
-    python -m repro.experiments                     # run E1–E8 in quick mode
+    python -m repro.experiments                     # run E1–E9 in quick mode
     python -m repro.experiments --full E4 E5        # full sweeps of E4 and E5
     python -m repro.experiments --jobs 4            # sweep on four cores
     python -m repro.experiments --format json E1    # machine-readable output
@@ -27,13 +27,13 @@ def main(argv: list[str] | None = None) -> int:
     """Run the selected experiments and print (or write) their tables."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the experiments of EXPERIMENTS.md (E1-E8).",
+        description="Regenerate the experiments of EXPERIMENTS.md (E1-E9).",
     )
     parser.add_argument(
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids to run (default: all of E1..E8)",
+        help="experiment ids to run (default: all of E1..E9)",
     )
     parser.add_argument(
         "--full",

@@ -51,28 +51,39 @@ from .registry import (
     CONSENSUS,
     DETECTORS,
     EXPERIMENTS,
+    LINKS,
     PROGRAMS,
     Registry,
+    build_link_model,
     register_check,
     register_consensus,
     register_detector,
     register_experiment,
+    register_link,
     register_program,
 )
 from .spec import (
     CrashSpec,
     DetectorSpec,
     MembershipSpec,
+    NetworkSpec,
     ScenarioSpec,
     TimingSpec,
+    asymmetric,
     asynchronous,
     cascading,
+    composed,
     crashes_at,
+    duplicating,
     fraction,
+    jittered,
     leaders,
+    lossy,
     minority,
     no_crashes,
     partial_sync,
+    partitioned,
+    reliable,
     synchronous,
 )
 
@@ -85,7 +96,9 @@ __all__ = [
     "EXPERIMENTS",
     "Engine",
     "Executor",
+    "LINKS",
     "MembershipSpec",
+    "NetworkSpec",
     "PROGRAMS",
     "ParallelExecutor",
     "ParameterSweep",
@@ -96,23 +109,32 @@ __all__ = [
     "ScenarioValidationError",
     "SerialExecutor",
     "TimingSpec",
+    "asymmetric",
     "asynchronous",
+    "build_link_model",
     "cascading",
+    "composed",
     "crashes_at",
     "default_consensus_detectors",
     "distinct_proposals",
+    "duplicating",
     "execute_spec",
     "executor_for",
     "fraction",
+    "jittered",
     "leaders",
+    "lossy",
     "minority",
     "no_crashes",
     "partial_sync",
+    "partitioned",
     "register_check",
     "register_consensus",
     "register_detector",
     "register_experiment",
+    "register_link",
     "register_program",
+    "reliable",
     "run_once",
     "scenario",
     "synchronous",

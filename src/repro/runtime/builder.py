@@ -28,11 +28,17 @@ before returning the (immutable, serializable) spec:
   AΩ baselines) require the matching membership;
 * implementation programs run in their system family only (Figure 6 needs
   partial synchrony, Figure 7 needs synchrony), and consensus algorithms are
-  asynchronous-family programs, never synchronous ones.
+  asynchronous-family programs, never synchronous ones;
+* the network model must respect the declared family's link assumptions —
+  HSS tolerates no link faults at all, HPS tolerates loss/duplication only
+  before GST (eventually timely links), and HAS requires adversity that
+  eventually heals; scenarios that deliberately step outside the guarantees
+  (fault-envelope sweeps) must say so with ``.adversarial()``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Sequence
 
 from ..errors import ConfigurationError
@@ -41,6 +47,7 @@ from .spec import (
     CrashSpec,
     DetectorSpec,
     MembershipSpec,
+    NetworkSpec,
     ScenarioSpec,
     TimingSpec,
     no_crashes,
@@ -66,6 +73,8 @@ class ScenarioBuilder:
         self._membership: MembershipSpec | None = None
         self._timing: TimingSpec | None = None
         self._crashes: CrashSpec = no_crashes()
+        self._network: NetworkSpec = NetworkSpec()
+        self._adversarial: bool = False
         self._detectors: list[DetectorSpec] = []
         self._consensus: str | None = None
         self._consensus_params: dict[str, Any] = {}
@@ -128,6 +137,24 @@ class ScenarioBuilder:
     def crashes(self, spec: CrashSpec) -> "ScenarioBuilder":
         """Set the crash schedule (see the crash helpers in the spec module)."""
         self._crashes = spec
+        return self
+
+    def network(self, spec: NetworkSpec) -> "ScenarioBuilder":
+        """Set the link model (see :func:`lossy`/:func:`partitioned`/
+        :func:`composed` and friends in :mod:`repro.runtime.spec`)."""
+        self._network = spec
+        return self
+
+    def adversarial(self, value: bool = True) -> "ScenarioBuilder":
+        """Acknowledge that the scenario runs outside the paper's guarantees.
+
+        Required for network models that violate the declared system family's
+        link assumptions (e.g. post-GST loss under HPS, never-healing loss
+        under HAS): the run is still meaningful — that is what the E9
+        fault-envelope sweep measures — but none of the paper's termination
+        claims apply to it.
+        """
+        self._adversarial = value
         return self
 
     # -- detectors and workload ----------------------------------------
@@ -216,6 +243,8 @@ class ScenarioBuilder:
             membership=membership_spec,
             timing=timing_spec,
             crashes=self._crashes,
+            network=self._network,
+            adversarial=self._adversarial,
             detectors=tuple(self._detectors),
             consensus=self._consensus,
             consensus_params=dict(self._consensus_params),
@@ -235,12 +264,62 @@ def scenario(name: str = "") -> ScenarioBuilder:
     return ScenarioBuilder(name)
 
 
+def _network_envelope_violation(spec: ScenarioSpec) -> str | None:
+    """Why the network model breaks the declared family's link assumptions.
+
+    Returns ``None`` when the combination is inside the paper's envelope:
+
+    * ``HSS`` (synchronous) assumes every copy arrives inside its synchronous
+      step — no loss, duplication, or extra delay of any kind;
+    * ``HPS`` (partially synchronous) assumes *eventually timely* links —
+      loss/duplication must stop by GST (extra finite delay is fine, because
+      the paper's δ is unknown to the algorithms anyway);
+    * ``HAS`` (asynchronous) assumes reliable links — adversity that never
+      heals voids the termination guarantees.
+    """
+    if spec.network.is_reliable:
+        return None
+    model = spec.network.build()
+    faults_until = model.unreliable_until()
+    extra_delay = model.extra_delay_bound()
+    if spec.timing.kind == "synchronous":
+        if faults_until > 0 or extra_delay > 0:
+            return (
+                "an HSS system assumes reliable in-step delivery, but the "
+                f"network model ({model.describe()}) can lose, duplicate, or "
+                "delay copies"
+            )
+    elif spec.timing.kind == "partial_sync":
+        gst = spec.timing.params.get("gst", 50.0)
+        if faults_until > gst:
+            until = "forever" if math.isinf(faults_until) else f"until t={faults_until}"
+            return (
+                "HPS guarantees assume eventually timely links (loss must stop "
+                f"by GST={gst}), but the network model ({model.describe()}) "
+                f"stays adversarial {until} — that is post-GST loss"
+            )
+    else:
+        if math.isinf(faults_until):
+            return (
+                "HAS guarantees assume reliable links, but the network model "
+                f"({model.describe()}) can lose or duplicate copies forever"
+            )
+    return None
+
+
 def validate_spec(spec: ScenarioSpec) -> None:
     """Check a spec against the paper's requirement table (raises on error)."""
     if spec.consensus is None and spec.program is None:
         raise ScenarioValidationError(
             "a scenario needs a workload: pick a consensus algorithm, a "
             "detector-implementation program, or both (stacked)"
+        )
+
+    violation = _network_envelope_violation(spec)
+    if violation is not None and not spec.adversarial:
+        raise ScenarioValidationError(
+            f"{violation}; the paper's guarantees do not cover this run — "
+            "acknowledge it with .adversarial() to execute anyway"
         )
 
     membership = spec.membership.build()

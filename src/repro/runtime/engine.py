@@ -34,6 +34,7 @@ from ..consensus import validate_consensus
 from ..membership import Membership
 from ..sim import CompositeProgram, CrashSchedule, Simulation, TimingModel, build_system
 from ..sim.failures import FailurePattern
+from ..sim.links import LinkModel
 from ..sim.system import ProgramFactory
 from .executors import Executor, executor_for
 from .registry import CHECKS, CONSENSUS, DETECTORS, PROGRAMS
@@ -115,6 +116,7 @@ def run_once(
     program_factory: ProgramFactory,
     crash_schedule: CrashSchedule | None = None,
     detectors: Mapping[str, Any] | None = None,
+    links: LinkModel | None = None,
     proposals: Mapping[Any, Any] | None = None,
     horizon: float = 500.0,
     seed: int = 0,
@@ -137,6 +139,7 @@ def run_once(
         program_factory=program_factory,
         crash_schedule=schedule,
         detectors=dict(detectors or {}),
+        links=links,
         seed=seed,
         name=scenario,
     )
@@ -205,6 +208,7 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
         program_factory=factory,
         crash_schedule=spec.crashes.build(membership),
         detectors=detectors,
+        links=None if spec.network.is_reliable else spec.network.build(),
         proposals=proposals,
         horizon=spec.horizon,
         seed=spec.seed,

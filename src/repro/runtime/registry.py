@@ -56,6 +56,16 @@ from ..detectors import (
 )
 from ..errors import ConfigurationError
 from ..membership import Membership
+from ..sim.links import (
+    AsymmetricLinks,
+    ComposedLinks,
+    DuplicatingLinks,
+    JitterLinks,
+    LinkModel,
+    LossyLinks,
+    PartitionedLinks,
+    ReliableLinks,
+)
 
 __all__ = [
     "Registry",
@@ -65,11 +75,14 @@ __all__ = [
     "PROGRAMS",
     "CHECKS",
     "EXPERIMENTS",
+    "LINKS",
     "register_detector",
     "register_consensus",
     "register_program",
     "register_check",
     "register_experiment",
+    "register_link",
+    "build_link_model",
 ]
 
 
@@ -125,6 +138,9 @@ CHECKS = Registry("property check")
 
 #: Whole experiments: id → ``run(quick=..., seed=..., engine=...)``.
 EXPERIMENTS = Registry("experiment")
+
+#: Link models: name → ``(**params) -> LinkModel``.
+LINKS = Registry("link model")
 
 
 def register_detector(name: str, maker: Callable[..., Any], *, overwrite: bool = False):
@@ -210,6 +226,16 @@ def register_experiment(name: str, runner: Callable[..., Any], *, overwrite: boo
     return EXPERIMENTS.register(name, runner, overwrite=overwrite)
 
 
+def register_link(name: str, maker: Callable[..., LinkModel], *, overwrite: bool = False):
+    """Register a link model under ``name``; ``maker`` is called as ``maker(**params)``."""
+    return LINKS.register(name, maker, overwrite=overwrite)
+
+
+def build_link_model(kind: str, params: Mapping[str, Any]) -> LinkModel:
+    """Materialise a link model from its spec data (``kind`` + parameters)."""
+    return LINKS.resolve(kind)(**dict(params))
+
+
 # ----------------------------------------------------------------------
 # Built-in detectors (the paper's oracle catalogue)
 # ----------------------------------------------------------------------
@@ -231,6 +257,35 @@ for _name, _oracle in (
 #: Oracles that elect leaders and therefore accept a pre-stabilization
 #: ``noise_period``; the builder only forwards that parameter to these.
 LEADER_DETECTORS = frozenset({"Omega", "AOmega", "HOmega"})
+
+
+# ----------------------------------------------------------------------
+# Built-in link models (the network fault vocabulary)
+# ----------------------------------------------------------------------
+def _make_partitioned_links(*, partitions: Any = ()) -> PartitionedLinks:
+    """Accept the JSON window shape ``[{"start":, "end":, "groups": [[...]]}]``."""
+    return PartitionedLinks.from_windows(list(partitions))
+
+
+def _make_composed_links(*, stages: Any = ()) -> ComposedLinks:
+    """Accept nested specs: ``[{"kind": ..., "params": {...}}, ...]``."""
+    return ComposedLinks(
+        tuple(
+            build_link_model(stage["kind"], stage.get("params", {})) for stage in stages
+        )
+    )
+
+
+for _name, _maker in (
+    ("reliable", ReliableLinks),
+    ("lossy", LossyLinks),
+    ("duplicating", DuplicatingLinks),
+    ("jitter", JitterLinks),
+    ("asymmetric", AsymmetricLinks),
+    ("partitioned", _make_partitioned_links),
+    ("compose", _make_composed_links),
+):
+    register_link(_name, _maker)
 
 
 # ----------------------------------------------------------------------

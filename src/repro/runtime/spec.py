@@ -49,6 +49,7 @@ __all__ = [
     "TimingSpec",
     "CrashSpec",
     "DetectorSpec",
+    "NetworkSpec",
     "ScenarioSpec",
     "asynchronous",
     "partial_sync",
@@ -59,6 +60,13 @@ __all__ = [
     "leaders",
     "fraction",
     "crashes_at",
+    "reliable",
+    "lossy",
+    "duplicating",
+    "jittered",
+    "asymmetric",
+    "partitioned",
+    "composed",
 ]
 
 
@@ -336,6 +344,101 @@ def crashes_at(times: Mapping[int, float]) -> CrashSpec:
 
 
 # ----------------------------------------------------------------------
+# Network (link models)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A link model as data: a ``LINKS`` registry name plus its parameters.
+
+    The default (``kind="reliable"``) reproduces the historical network: every
+    copy delivered exactly once at the timing model's draw.  Other kinds add
+    loss, duplication, jitter, per-direction latency penalties, or timed
+    partitions — see the helper constructors below and the
+    :data:`~repro.runtime.registry.LINKS` registry.
+    """
+
+    kind: str = "reliable"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def is_reliable(self) -> bool:
+        """Whether this is the default (identity) link model."""
+        return self.kind == "reliable"
+
+    def build(self):
+        """Materialise the :class:`~repro.sim.links.LinkModel`."""
+        from .registry import build_link_model  # deferred: registry is heavyweight
+
+        return build_link_model(self.kind, self.params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NetworkSpec":
+        return cls(kind=payload.get("kind", "reliable"), params=dict(payload.get("params", {})))
+
+
+def reliable() -> NetworkSpec:
+    """Every copy delivered exactly once at the timing model's draw (the default)."""
+    return NetworkSpec("reliable")
+
+
+def lossy(loss: float, *, start: float = 0.0, end: float | None = None) -> NetworkSpec:
+    """Drop each copy with probability ``loss`` while ``start <= send < end``."""
+    return NetworkSpec("lossy", {"loss": loss, **_clean({"start": start or None, "end": end})})
+
+
+def duplicating(
+    probability: float,
+    *,
+    copies: int = 2,
+    spread: float = 0.0,
+    start: float = 0.0,
+    end: float | None = None,
+) -> NetworkSpec:
+    """Duplicate each copy with the given probability (``copies`` total arrivals)."""
+    return NetworkSpec(
+        "duplicating",
+        {
+            "probability": probability,
+            "copies": copies,
+            **_clean({"spread": spread or None, "start": start or None, "end": end}),
+        },
+    )
+
+
+def jittered(max_jitter: float, *, start: float = 0.0, end: float | None = None) -> NetworkSpec:
+    """Add ``uniform(0, max_jitter)`` to every copy's delivery time (reordering)."""
+    return NetworkSpec(
+        "jitter", {"max_jitter": max_jitter, **_clean({"start": start or None, "end": end})}
+    )
+
+
+def asymmetric(extra: Mapping[str, float], *, default: float = 0.0) -> NetworkSpec:
+    """Per-direction latency penalties: ``{"0->1": 5.0}`` keyed by process indices."""
+    return NetworkSpec("asymmetric", {"extra": dict(extra), "default": default})
+
+
+def partitioned(*windows: Mapping[str, Any]) -> NetworkSpec:
+    """Timed partitions with heal events.
+
+    Each window is ``{"start": t0, "end": t1, "groups": [[0, 1], [2, 3, 4]]}``;
+    ``end=None`` never heals.  Copies *sent* across a cut during its window
+    are lost (copies already on the wire when the cut starts still arrive).
+    """
+    return NetworkSpec("partitioned", {"partitions": [dict(window) for window in windows]})
+
+
+def composed(*stages: NetworkSpec) -> NetworkSpec:
+    """Chain several link models; each stage transforms the previous output."""
+    return NetworkSpec("compose", {"stages": [stage.to_dict() for stage in stages]})
+
+
+# ----------------------------------------------------------------------
 # Detectors
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -368,11 +471,18 @@ class ScenarioSpec:
     *under* the consensus algorithm on every process, which is how the E8
     oracle-free configuration is expressed.  ``checks`` names detector
     property checkers evaluated over the finished trace.
+
+    ``network`` selects the link model (loss, duplication, jitter, partitions;
+    default: reliable links).  ``adversarial=True`` acknowledges that the
+    scenario runs *outside* the paper's guarantees (e.g. post-GST loss in an
+    HPS system); the builder rejects such combinations without it.
     """
 
     membership: MembershipSpec
     timing: TimingSpec = field(default_factory=asynchronous)
     crashes: CrashSpec = field(default_factory=no_crashes)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    adversarial: bool = False
     detectors: tuple[DetectorSpec, ...] = ()
     consensus: str | None = None
     consensus_params: Mapping[str, Any] = field(default_factory=dict)
@@ -398,6 +508,8 @@ class ScenarioSpec:
             "membership": self.membership.to_dict(),
             "timing": self.timing.to_dict(),
             "crashes": self.crashes.to_dict(),
+            "network": self.network.to_dict(),
+            "adversarial": self.adversarial,
             "detectors": [detector.to_dict() for detector in self.detectors],
             "consensus": self.consensus,
             "consensus_params": dict(self.consensus_params),
@@ -415,6 +527,8 @@ class ScenarioSpec:
             membership=MembershipSpec.from_dict(payload["membership"]),
             timing=TimingSpec.from_dict(payload.get("timing", {"kind": "asynchronous"})),
             crashes=CrashSpec.from_dict(payload.get("crashes", {"kind": "none"})),
+            network=NetworkSpec.from_dict(payload.get("network", {"kind": "reliable"})),
+            adversarial=bool(payload.get("adversarial", False)),
             detectors=tuple(
                 DetectorSpec.from_dict(entry) for entry in payload.get("detectors", ())
             ),

@@ -1,17 +1,31 @@
 """Deterministic discrete-event simulation substrate.
 
 This subpackage provides the message-passing environment the paper assumes:
-crash-prone processes, reliable broadcast links, and three timing disciplines
+crash-prone processes, broadcast links, and three timing disciplines
 (asynchronous, partially synchronous with an unknown GST/δ, and synchronous).
-Algorithms are written as :class:`~repro.sim.process.ProcessProgram` subclasses
-and executed by the :class:`~repro.sim.scheduler.Simulation` engine over a
+Links are reliable by default but pluggable: a
+:class:`~repro.sim.links.LinkModel` can inject loss, duplication, jitter,
+per-direction latency penalties, and timed partitions per link.  Algorithms
+are written as :class:`~repro.sim.process.ProcessProgram` subclasses and
+executed by the :class:`~repro.sim.scheduler.Simulation` engine over a
 :class:`~repro.sim.system.System` configuration.
 """
 
 from .clock import Clock, Time
 from .events import Event, EventQueue
 from .failures import CrashEvent, CrashSchedule, FailurePattern, crash_free
-from .message import Broadcast, Message
+from .links import (
+    AsymmetricLinks,
+    ComposedLinks,
+    DuplicatingLinks,
+    JitterLinks,
+    LinkModel,
+    LossyLinks,
+    Partition,
+    PartitionedLinks,
+    ReliableLinks,
+)
+from .message import Message
 from .network import Network
 from .process import (
     NextSyncStep,
@@ -39,20 +53,28 @@ from .timing import (
 from .trace import Decision, RunTrace, TraceRecord
 
 __all__ = [
+    "AsymmetricLinks",
     "AsynchronousTiming",
-    "Broadcast",
     "Clock",
+    "ComposedLinks",
     "CompositeProgram",
     "CrashEvent",
     "CrashSchedule",
     "Decision",
     "DetectorServices",
+    "DuplicatingLinks",
     "Event",
     "EventQueue",
     "FailurePattern",
+    "JitterLinks",
+    "LinkModel",
+    "LossyLinks",
     "Message",
     "Network",
     "NextSyncStep",
+    "Partition",
+    "PartitionedLinks",
+    "ReliableLinks",
     "PartiallySynchronousTiming",
     "ProcessContext",
     "ProcessProgram",

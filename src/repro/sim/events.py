@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -26,27 +27,56 @@ class Event:
     ``priority`` breaks ties at equal times: lower runs first.  Message
     deliveries use priority 0 and internal wake-ups priority 1 so that a
     process woken at time T sees every message delivered at T.
+
+    ``args`` are passed to ``action`` when the event fires, so hot paths can
+    schedule a bound method plus its argument instead of allocating a closure
+    per event.  ``run()`` is the one way to fire an event.
     """
 
     time: Time
     priority: int
     sequence: int
-    action: Callable[[], None] = field(compare=False)
+    action: Callable[..., None] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
 
+    def run(self) -> None:
+        """Execute the event's action with its arguments."""
+        self.action(*self.args)
+
     def cancel(self) -> None:
-        """Mark the event as cancelled; the queue will skip it."""
+        """Mark the event as cancelled; the queue will skip it.
+
+        .. deprecated::
+            Calling this directly leaves the queue's live-event count stale
+            unless paired with :meth:`EventQueue.note_cancellation`.  Use
+            :meth:`EventQueue.cancel`, which does both in one call.
+        """
+        warnings.warn(
+            "Event.cancel() (paired with EventQueue.note_cancellation()) is "
+            "deprecated; use EventQueue.cancel(event) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.cancelled = True
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
 
-    def __init__(self) -> None:
+    ``debug_labels`` gates the construction of diagnostic event labels: when
+    it is ``False`` (the default) callers skip building their label strings,
+    which keeps the broadcast hot path free of f-string formatting.  Flip it
+    to ``True`` before a run to get labelled events for debugging.
+    """
+
+    def __init__(self, *, debug_labels: bool = False) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self.debug_labels = debug_labels
 
     def __len__(self) -> int:
         return self._live
@@ -58,13 +88,14 @@ class EventQueue:
     def schedule(
         self,
         time: Time,
-        action: Callable[[], None],
+        action: Callable[..., None],
         *,
+        args: tuple = (),
         priority: int = 0,
         label: str = "",
         not_before: Time | None = None,
     ) -> Event:
-        """Schedule ``action`` to run at ``time`` and return the event handle.
+        """Schedule ``action(*args)`` to run at ``time`` and return the event handle.
 
         ``not_before`` lets the caller assert that the event is not being
         scheduled in its own past (the engine passes the current clock value).
@@ -80,11 +111,26 @@ class EventQueue:
             priority=priority,
             sequence=next(self._counter),
             action=action,
+            args=args,
             label=label,
         )
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` and keep the live-event count accurate.
+
+        This is the single safe cancellation entry point: it flips the
+        event's flag and adjusts the queue's accounting in one call, and is
+        idempotent (cancelling twice, or cancelling an already popped event's
+        stale handle, does not corrupt the count).
+        """
+        if event.cancelled or event.popped:
+            return
+        event.cancelled = True
+        if self._live > 0:
+            self._live -= 1
 
     def pop_next(self) -> Event | None:
         """Remove and return the next live event, or ``None`` when empty."""
@@ -92,6 +138,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.popped = True
             self._live -= 1
             return event
         return None
@@ -105,6 +152,18 @@ class EventQueue:
         return self._heap[0].time
 
     def note_cancellation(self) -> None:
-        """Inform the queue that one previously scheduled event was cancelled."""
+        """Inform the queue that one previously scheduled event was cancelled.
+
+        .. deprecated::
+            The split ``Event.cancel()`` + ``note_cancellation()`` protocol is
+            error-prone (forgetting either half corrupts ``len(queue)``).  Use
+            :meth:`cancel`, which does both atomically.
+        """
+        warnings.warn(
+            "EventQueue.note_cancellation() (paired with Event.cancel()) is "
+            "deprecated; use EventQueue.cancel(event) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self._live > 0:
             self._live -= 1

@@ -1,26 +1,19 @@
-"""Message envelopes and broadcast records.
+"""Message envelopes.
 
 The paper's communication primitive is ``broadcast(m)``: one copy of ``m`` is
 sent along the directed link from the sender to every process (including the
 sender).  The receiving process cannot identify the link a message arrived on,
-so the envelope exposes only the message *content* to algorithm code; the
-sending :class:`~repro.identity.ProcessId` is carried for the benefit of the
-trace and the property checkers and is deliberately not reachable from
+so the envelope exposes only the message *content* to algorithm code — the
+sender is deliberately not reachable from
 :class:`~repro.sim.process.ProcessContext`.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..identity import ProcessId
-from .clock import Time
-
-__all__ = ["Message", "Broadcast"]
-
-_broadcast_counter = itertools.count()
+__all__ = ["Message"]
 
 
 @dataclass(frozen=True)
@@ -54,22 +47,3 @@ class Message:
         inner = ", ".join(f"{key}={value!r}" for key, value in self.payload.items())
         return f"{self.kind}({inner})"
 
-
-@dataclass(frozen=True)
-class Broadcast:
-    """A record of one ``broadcast(m)`` invocation (simulator-side bookkeeping)."""
-
-    broadcast_id: int
-    sender: ProcessId
-    message: Message
-    sent_at: Time
-
-    @classmethod
-    def create(cls, sender: ProcessId, message: Message, sent_at: Time) -> "Broadcast":
-        """Allocate a fresh broadcast identifier and wrap the message."""
-        return cls(
-            broadcast_id=next(_broadcast_counter),
-            sender=sender,
-            message=message,
-            sent_at=sent_at,
-        )

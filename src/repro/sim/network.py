@@ -1,11 +1,21 @@
 """The broadcast network.
 
 The network owns the directed links between every ordered pair of processes
-and turns one ``broadcast(m)`` invocation into ``n`` link messages whose
-delivery times are drawn from the timing model.  Links are reliable: no
-duplication, no corruption, no spurious messages; loss is only possible before
-GST under the partially synchronous model, and for the final broadcast of a
-process that crashes mid-broadcast (both allowed by the paper).
+and turns one ``broadcast(m)`` invocation into ``n`` link messages.  Two
+collaborators decide the fate of each copy:
+
+* the :class:`~repro.sim.timing.TimingModel` draws *when* the copy would
+  arrive (and may declare paper-sanctioned pre-GST loss in the partially
+  synchronous model);
+* the :class:`~repro.sim.links.LinkModel` decides *whether* and *how many*
+  copies actually arrive — loss, duplication, jitter, per-direction latency
+  penalties, and timed partitions all live there.
+
+The default :class:`~repro.sim.links.ReliableLinks` model is the identity:
+no duplication, no corruption, no spurious messages, which reproduces the
+behaviour of the pre-link-model network seed for seed.  Loss is then only
+possible before GST under the partially synchronous model, and for the final
+broadcast of a process that crashes mid-broadcast (both allowed by the paper).
 """
 
 from __future__ import annotations
@@ -18,8 +28,9 @@ from ..identity import ProcessId
 from ..membership import Membership
 from .clock import Clock
 from .events import EventQueue
-from .failures import FailurePattern
-from .message import Broadcast, Message
+from .failures import CrashEvent, FailurePattern
+from .links import LinkModel, ReliableLinks
+from .message import Message
 from .timing import TimingModel
 from .trace import RunTrace
 
@@ -46,6 +57,7 @@ class Network:
         queue: EventQueue,
         trace: RunTrace,
         rng: random.Random,
+        links: LinkModel | None = None,
     ) -> None:
         self._membership = membership
         self._timing = timing
@@ -54,7 +66,25 @@ class Network:
         self._queue = queue
         self._trace = trace
         self._rng = rng
+        self._links = links if links is not None else ReliableLinks()
+        # The identity model needs no per-copy transformation; skipping the
+        # call keeps the default broadcast path as lean as before the layer
+        # existed (and RNG-draw-identical, since ReliableLinks never draws).
+        self._links_are_reliable = type(self._links) is ReliableLinks
+        # Only crashes that may truncate a same-instant broadcast matter to
+        # the hot path; resolving them once here replaces a linear scan of
+        # the whole schedule on every broadcast.
+        self._partial_crash_of: dict[ProcessId, CrashEvent] = {
+            event.process: event
+            for event in failure_pattern.schedule.events
+            if event.partial_broadcast_fraction is not None
+        }
         self._deliver_to: Mapping[ProcessId, Callable[[Message], None]] = {}
+
+    @property
+    def links(self) -> LinkModel:
+        """The link model shaping per-link delivery behaviour."""
+        return self._links
 
     def connect(self, deliver_to: Mapping[ProcessId, Callable[[Message], None]]) -> None:
         """Wire the per-process delivery callbacks (done once by the simulation)."""
@@ -68,22 +98,45 @@ class Network:
     # ------------------------------------------------------------------
     def broadcast(self, sender: ProcessId, message: Message) -> None:
         """Send one copy of ``message`` along the link to every process."""
-        if not self._deliver_to:
+        deliver_to = self._deliver_to
+        if not deliver_to:
             raise SimulationError("the network has not been connected to any processes")
         sent_at = self._clock.now
-        record = Broadcast.create(sender, message, sent_at)
         recipients = self._recipients_for(sender, sent_at)
         self._trace.record_broadcast(message.kind, copies=len(recipients))
+        timing = self._timing
+        links = self._links
+        reliable = self._links_are_reliable
+        rng = self._rng
+        queue = self._queue
+        debug = queue.debug_labels
         for receiver in recipients:
-            delivery_time = self._timing.delivery_time(sender, receiver, sent_at, self._rng)
-            if delivery_time is None:
+            drawn = timing.delivery_time(sender, receiver, sent_at, rng)
+            if drawn is None:
                 continue  # lost before GST (partially synchronous model only)
-            if delivery_time < sent_at:
+            if drawn < sent_at:
                 raise SimulationError(
                     f"timing model produced a delivery before the send time "
-                    f"({delivery_time} < {sent_at})"
+                    f"({drawn} < {sent_at})"
                 )
-            self._schedule_delivery(receiver, record, delivery_time)
+            if reliable:
+                times: tuple[float, ...] = (drawn,)
+            else:
+                times = links.deliveries(sender, receiver, sent_at, (drawn,), rng)
+            for when in times:
+                if when < sent_at:
+                    raise SimulationError(
+                        f"link model produced a delivery before the send time "
+                        f"({when} < {sent_at})"
+                    )
+                queue.schedule(
+                    when,
+                    deliver_to[receiver],
+                    args=(message,),
+                    priority=_DELIVERY_PRIORITY,
+                    label=f"deliver {message.kind} to {receiver!r}" if debug else "",
+                    not_before=sent_at,
+                )
 
     # ------------------------------------------------------------------
     # Internals
@@ -98,23 +151,12 @@ class Network:
         the configured size receives the copy.
         """
         everyone = self._membership.processes
-        crash_event = self._pattern.schedule.event_for(sender)
+        crash_event = self._partial_crash_of.get(sender)
         if (
             crash_event is not None
-            and crash_event.partial_broadcast_fraction is not None
             and abs(crash_event.time - sent_at) <= _CRASH_BROADCAST_TOLERANCE
         ):
             subset_size = int(crash_event.partial_broadcast_fraction * len(everyone))
             chosen = self._rng.sample(list(everyone), k=subset_size) if subset_size else []
             return tuple(sorted(chosen))
         return everyone
-
-    def _schedule_delivery(self, receiver: ProcessId, record: Broadcast, when: float) -> None:
-        deliver = self._deliver_to[receiver]
-        self._queue.schedule(
-            when,
-            lambda: deliver(record.message),
-            priority=_DELIVERY_PRIORITY,
-            label=f"deliver {record.message.kind} to {receiver!r}",
-            not_before=self._clock.now,
-        )

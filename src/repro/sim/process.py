@@ -280,8 +280,7 @@ class ProcessRuntime:
             task.finished = True
             task.waiting_on = None
             if task.pending_event is not None:
-                task.pending_event.cancel()
-                self._queue.note_cancellation()
+                self._queue.cancel(task.pending_event)
                 task.pending_event = None
 
     # ------------------------------------------------------------------
@@ -362,9 +361,12 @@ class ProcessRuntime:
         resume_at = at + self._timing.step_delay(self.process_id, at, self.rng)
         task.pending_event = self._queue.schedule(
             resume_at,
-            lambda: self._resume(task),
+            self._resume,
+            args=(task,),
             priority=2,
-            label=f"resume {self.process_id!r}.{task.name}",
+            label=f"resume {self.process_id!r}.{task.name}"
+            if self._queue.debug_labels
+            else "",
             not_before=self.clock.now,
         )
 
@@ -405,8 +407,11 @@ class ProcessRuntime:
         boundary = self._timing.next_step_start(self.clock.now)
         task.pending_event = self._queue.schedule(
             boundary,
-            lambda: self._resume(task),
+            self._resume,
+            args=(task,),
             priority=2,
-            label=f"sync-step {self.process_id!r}.{task.name}",
+            label=f"sync-step {self.process_id!r}.{task.name}"
+            if self._queue.debug_labels
+            else "",
             not_before=self.clock.now,
         )

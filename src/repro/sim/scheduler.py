@@ -52,6 +52,7 @@ class Simulation:
             queue=self.queue,
             trace=self.trace,
             rng=self.rng_streams.stream("network"),
+            links=system.links,
         )
         self.runtimes: dict[ProcessId, ProcessRuntime] = {}
         self.detectors: dict[str, object] = {}
@@ -161,7 +162,7 @@ class Simulation:
             if event is None:
                 break
             self.clock.advance_to(event.time)
-            event.action()
+            event.run()
             self._events_processed += 1
             if self._events_processed > max_events:
                 raise SimulationError(

@@ -32,6 +32,7 @@ from ..identity import Identity, ProcessId
 from ..membership import Membership
 from .clock import Clock, Time
 from .failures import CrashSchedule, FailurePattern
+from .links import LinkModel, ReliableLinks
 from .process import ProcessProgram
 from .rng import RngStreams
 from .timing import (
@@ -128,6 +129,7 @@ class System:
     program_factory: ProgramFactory
     crash_schedule: CrashSchedule = field(default_factory=CrashSchedule.none)
     detectors: Mapping[str, DetectorFactory] = field(default_factory=dict)
+    links: LinkModel = field(default_factory=ReliableLinks)
     model: SystemModel = SystemModel.HAS
     seed: int = 0
     name: str = ""
@@ -148,9 +150,13 @@ class System:
     def describe(self) -> str:
         """One-line description used in logs and experiment tables."""
         label = self.name or "system"
+        links = ""
+        if not isinstance(self.links, ReliableLinks):
+            links = f" links={self.links.describe()}"
         return (
             f"{label}: {self.model.value}[{self.timing.describe()}] "
             f"{self.membership.describe()} crashes={len(self.crash_schedule.faulty)}"
+            f"{links}"
         )
 
 
@@ -161,6 +167,7 @@ def build_system(
     program_factory: ProgramFactory,
     crash_schedule: CrashSchedule | None = None,
     detectors: Mapping[str, DetectorFactory] | None = None,
+    links: LinkModel | None = None,
     model: SystemModel | None = None,
     seed: int = 0,
     name: str = "",
@@ -174,6 +181,7 @@ def build_system(
         program_factory=program_factory,
         crash_schedule=crash_schedule or CrashSchedule.none(),
         detectors=dict(detectors or {}),
+        links=links if links is not None else ReliableLinks(),
         model=model,
         seed=seed,
         name=name,

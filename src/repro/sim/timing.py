@@ -1,15 +1,20 @@
 """Timing models: asynchronous, partially synchronous, synchronous.
 
-A timing model answers one question for the network — *when is a copy of a
-broadcast delivered over a given link?* — and one for the runtime — *how long
+A timing model answers one question for the network — *how long does a copy
+of a broadcast take over a given link?* — and one for the runtime — *how long
 does a local step take?*  The three concrete models correspond to the paper's
 ``HAS`` (asynchronous), ``HPS`` (partially synchronous processes and
 eventually timely links, with an unknown global stabilization time ``GST`` and
 latency bound ``δ``), and ``HSS`` (synchronous) system families.
 
-All models keep links *reliable*: messages are never lost after GST, never
-duplicated, never corrupted.  The partially synchronous model may lose or
-arbitrarily delay messages sent before GST, exactly as the paper allows.
+Whether a copy is delivered at all, and how many times, is the
+:class:`~repro.sim.links.LinkModel`'s question, not the timing model's: loss,
+duplication, jitter, and partitions are layered on top of the timing draw by
+the network.  The single exception is the paper-sanctioned pre-GST loss of
+the partially synchronous model, which stays here because the paper defines
+it as part of the ``HPS`` timing discipline itself (``delivery_time`` returns
+``None`` for such a loss, keeping existing seeds reproducible).  Beyond that,
+timing models never lose, duplicate, or corrupt messages.
 """
 
 from __future__ import annotations

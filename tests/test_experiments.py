@@ -19,12 +19,13 @@ from repro.experiments import (
     run_e6,
     run_e7,
     run_e8,
+    run_e9,
 )
 
 
 class TestHarnessShape:
     def test_all_experiments_registered(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 9)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 10)}
 
     @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
     def test_each_experiment_produces_rows_and_table(self, name):
@@ -89,3 +90,15 @@ class TestExperimentHeadlines:
             row["decision_after_gst"] is None or row["decision_after_gst"] > 0
             for row in result.rows
         )
+
+    def test_e9_fault_envelope_erodes_termination_never_safety(self):
+        result = run_e9(quick=True, seed=2)
+        # Safety is unconditional: adversarial links never cause disagreement.
+        assert result.summary["all_safe"]
+        # Reliable-network baselines always decide.
+        assert result.summary["baseline_all_decided"]
+        # No HΣ quorum fits inside one block of a never-healing partition.
+        assert result.summary["success_by_partition"]["permanent"] == 0.0
+        # A healed partition is recovered from when the detector stabilises
+        # after the heal (label growth re-broadcasts over restored links).
+        assert result.summary["healing_recovered_with_late_stabilization"] == 1.0

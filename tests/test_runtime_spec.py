@@ -10,18 +10,33 @@ from repro.runtime import (
     CrashSpec,
     DetectorSpec,
     MembershipSpec,
+    NetworkSpec,
     ScenarioSpec,
     ScenarioValidationError,
     TimingSpec,
+    asymmetric,
     asynchronous,
     cascading,
+    composed,
     crashes_at,
+    duplicating,
+    jittered,
     leaders,
+    lossy,
     minority,
     no_crashes,
     partial_sync,
+    partitioned,
+    reliable,
     scenario,
     synchronous,
+)
+from repro.sim.links import (
+    AsymmetricLinks,
+    ComposedLinks,
+    LossyLinks,
+    PartitionedLinks,
+    ReliableLinks,
 )
 from repro.sim.timing import (
     AsynchronousTiming,
@@ -70,6 +85,51 @@ class TestSpecRoundTrip:
         reseeded = spec.with_seed(99)
         assert reseeded.seed == 99
         assert reseeded.with_seed(1) == spec
+
+    def test_network_section_round_trips_through_dict_json(self):
+        spec = (
+            scenario("net")
+            .processes(5)
+            .distinct_ids(2)
+            .network(
+                composed(
+                    lossy(0.2, end=40.0),
+                    jittered(1.0, end=40.0),
+                    partitioned({"start": 5.0, "end": 30.0, "groups": [[0, 1], [2, 3, 4]]}),
+                )
+            )
+            .detectors("HOmega", "HSigma", stabilization=10.0)
+            .consensus("homega_hsigma")
+            .build()
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.to_dict()["network"]["kind"] == "compose"
+
+    def test_adversarial_flag_round_trips(self):
+        spec = (
+            scenario("adv")
+            .processes(4)
+            .distinct_ids(2)
+            .network(lossy(0.5))
+            .adversarial()
+            .detectors("HOmega", "HSigma", stabilization=10.0)
+            .consensus("homega_hsigma")
+            .build()
+        )
+        assert spec.adversarial
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_payload_without_network_defaults_to_reliable(self):
+        """Pre-link-model JSONL records must still load."""
+        spec = figure9_spec()
+        payload = spec.to_dict()
+        del payload["network"]
+        del payload["adversarial"]
+        loaded = ScenarioSpec.from_dict(payload)
+        assert loaded.network == NetworkSpec()
+        assert loaded.network.is_reliable
+        assert not loaded.adversarial
 
     def test_stacked_program_spec_round_trips(self):
         spec = (
@@ -125,6 +185,22 @@ class TestSpecMaterialisation:
         membership = MembershipSpec("unique", n=7).build()
         for spec in (no_crashes(), minority(), cascading(4), leaders(), crashes_at({1: 2.0})):
             assert spec.worst_case_faulty(7) == len(spec.build(membership).faulty)
+
+    def test_network_specs_build_the_right_link_models(self):
+        assert isinstance(reliable().build(), ReliableLinks)
+        lossy_model = lossy(0.3, end=25.0).build()
+        assert isinstance(lossy_model, LossyLinks) and lossy_model.end == 25.0
+        assert isinstance(
+            partitioned({"start": 1.0, "end": 2.0, "groups": [[0], [1]]}).build(),
+            PartitionedLinks,
+        )
+        assert isinstance(asymmetric({"0->1": 2.0}).build(), AsymmetricLinks)
+        stack = composed(lossy(0.1, end=5.0), jittered(0.5)).build()
+        assert isinstance(stack, ComposedLinks) and len(stack.stages) == 2
+
+    def test_unknown_link_kind_raises(self):
+        with pytest.raises(ConfigurationError, match="link model"):
+            NetworkSpec("wormhole").build()
 
 
 class TestBuilderValidation:
@@ -274,6 +350,74 @@ class TestBuilderValidation:
             .build()
         )
         assert spec.detectors[0].params["stabilization_time"] == 5.0
+
+    def _consensus_builder(self, network=None):
+        builder = (
+            scenario()
+            .processes(5)
+            .distinct_ids(2)
+            .detectors("HOmega", "HSigma", stabilization=10.0)
+            .consensus("homega_hsigma")
+        )
+        return builder.network(network) if network is not None else builder
+
+    def test_unbounded_loss_under_has_needs_adversarial(self):
+        with pytest.raises(ScenarioValidationError, match="adversarial"):
+            self._consensus_builder(lossy(0.2)).build()
+        spec = self._consensus_builder(lossy(0.2)).adversarial().build()
+        assert spec.adversarial
+
+    def test_bounded_loss_under_has_is_inside_the_envelope(self):
+        spec = self._consensus_builder(lossy(0.2, end=50.0)).build()
+        assert not spec.adversarial
+
+    def test_post_gst_loss_under_hps_is_flagged(self):
+        builder = (
+            scenario()
+            .processes(4)
+            .distinct_ids(2)
+            .timing(partial_sync(gst=30.0, delta=1.0))
+            .network(lossy(0.2, end=60.0))
+            .detectors("HOmega", "HSigma", stabilization=10.0)
+            .consensus("homega_hsigma")
+        )
+        with pytest.raises(ScenarioValidationError, match="post-GST"):
+            builder.build()
+        assert builder.adversarial().build().adversarial
+
+    def test_pre_gst_only_loss_under_hps_is_accepted(self):
+        spec = (
+            scenario()
+            .processes(4)
+            .distinct_ids(2)
+            .timing(partial_sync(gst=30.0, delta=1.0))
+            .network(lossy(0.2, end=30.0))
+            .detectors("HOmega", "HSigma", stabilization=10.0)
+            .consensus("homega_hsigma")
+            .build()
+        )
+        assert not spec.adversarial
+
+    def test_any_link_fault_under_hss_is_flagged(self):
+        builder = (
+            scenario()
+            .processes(4)
+            .distinct_ids(2)
+            .timing(synchronous())
+            .network(jittered(0.5, end=10.0))
+            .program("hsigma_sync", detector_name="HSigma")
+        )
+        with pytest.raises(ScenarioValidationError, match="HSS"):
+            builder.build()
+
+    def test_constant_asymmetry_is_inside_every_envelope(self):
+        # A fixed per-direction penalty preserves "eventually timely" links.
+        spec = self._consensus_builder(asymmetric({"0->1": 3.0})).build()
+        assert not spec.adversarial
+
+    def test_unbounded_duplication_is_flagged(self):
+        with pytest.raises(ScenarioValidationError, match="adversarial"):
+            self._consensus_builder(duplicating(0.5)).build()
 
     def test_noise_period_only_reaches_leader_detectors(self):
         spec = (

@@ -53,11 +53,43 @@ class TestEventQueue:
         queue = EventQueue()
         fired: list[str] = []
         event = queue.schedule(1.0, lambda: fired.append("x"))
-        event.cancel()
-        queue.note_cancellation()
+        queue.cancel(event)
         assert queue.is_empty()
         assert queue.pop_next() is None
         assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_deprecated_split_cancellation_still_works_but_warns(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        with pytest.warns(DeprecationWarning):
+            event.cancel()
+        with pytest.warns(DeprecationWarning):
+            queue.note_cancellation()
+        assert queue.is_empty()
+
+    def test_cancelling_a_popped_handle_does_not_corrupt_the_count(self):
+        queue = EventQueue()
+        stale = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pop_next() is stale
+        queue.cancel(stale)
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+
+    def test_event_args_are_passed_to_the_action(self):
+        queue = EventQueue()
+        received: list[tuple] = []
+        queue.schedule(1.0, lambda *args: received.append(args), args=("m", 2))
+        queue.pop_next().run()
+        assert received == [("m", 2)]
 
     def test_peek_time(self):
         queue = EventQueue()
@@ -70,8 +102,7 @@ class TestEventQueue:
         queue = EventQueue()
         first = queue.schedule(1.0, lambda: None)
         queue.schedule(2.0, lambda: None)
-        first.cancel()
-        queue.note_cancellation()
+        queue.cancel(first)
         assert queue.peek_time() == 2.0
 
     def test_rejects_negative_time(self):
