@@ -1,28 +1,87 @@
 """Micro-benchmarks of the core building blocks.
 
 These are not paper experiments; they track the cost of the substrate itself
-(one consensus run, one detector-convergence run, multiset algebra, quorum
-safety checking) so performance regressions in the library are visible.
+(the event queue's schedule/pop/cancel operations, the broadcast hot path,
+one consensus run, one detector-convergence run, multiset algebra) so
+performance regressions in the library are visible.
+
+Benchmarks tagged with ``benchmark.extra_info["bench_core_key"]`` are folded
+into ``BENCH_core.json`` by the suite's conftest after every benchmark run —
+the committed copy at the repository root is the perf trajectory each PR
+defends.  ``events_per_round`` turns a round's wall-clock into ns/event.
 """
 
 from repro.consensus import HOmegaMajorityConsensus
 from repro.detectors import HSigmaOracle, check_hsigma
 from repro.detectors.probe import DetectorProbeProgram, hsigma_probes
+from repro.experiments.e1_ohp_convergence import run as run_e1
 from repro.identity import IdentityMultiset
 from repro.membership import grouped_identities
 from repro.sim import (
     AsynchronousTiming,
     ComposedLinks,
     CrashSchedule,
+    EventQueue,
     JitterLinks,
     LossyLinks,
     Simulation,
+    SynchronousTiming,
     build_system,
 )
 from repro.sim.failures import FailurePattern
 from repro.sim.process import ProcessProgram
 from repro.workloads import minority_crashes
 from repro.workloads.scenarios import ConsensusScenario
+
+#: Events per round of the raw event-queue benchmarks.
+N_QUEUE_EVENTS = 2000
+
+
+def _noop() -> None:
+    pass
+
+
+def test_event_queue_schedule_pop(benchmark):
+    """Raw schedule + pop cycle cost of the event queue itself."""
+
+    def cycle():
+        queue = EventQueue()
+        schedule = queue.schedule
+        for i in range(N_QUEUE_EVENTS):
+            schedule(float(i & 255), _noop)
+        pops = 0
+        while queue.pop_next() is not None:
+            pops += 1
+        return pops
+
+    assert benchmark(cycle) == N_QUEUE_EVENTS
+    # One schedule and one pop per event.
+    benchmark.extra_info["events_per_round"] = 2 * N_QUEUE_EVENTS
+    benchmark.extra_info["bench_core_key"] = "queue_schedule_pop"
+
+
+def test_event_queue_schedule_cancel(benchmark):
+    """Raw schedule + cancel cost (cancelled events are dropped lazily)."""
+
+    def cycle():
+        queue = EventQueue()
+        schedule = queue.schedule
+        handles = [schedule(float(i % 97), _noop) for i in range(N_QUEUE_EVENTS)]
+        cancel = queue.cancel
+        for handle in handles:
+            cancel(handle)
+        return len(queue)
+
+    assert benchmark(cycle) == 0
+    benchmark.extra_info["events_per_round"] = 2 * N_QUEUE_EVENTS
+    benchmark.extra_info["bench_core_key"] = "queue_schedule_cancel"
+
+
+def test_e1_quick_wallclock(benchmark):
+    """Wall-clock of the whole quick E1 sweep (engine + sim + checks)."""
+    result = benchmark.pedantic(lambda: run_e1(quick=True, seed=0), rounds=3, iterations=1)
+    assert result.summary["adaptive_all_converged"]
+    benchmark.extra_info["bench_core_key"] = "e1_quick_wallclock"
 
 
 def test_single_consensus_run(benchmark):
@@ -83,25 +142,44 @@ class _GossipProgram(ProcessProgram):
         ctx.spawn(chatter, name="chatter")
 
 
-def _gossip_system(links):
+def _gossip_system(links, timing=None):
     membership = grouped_identities([3, 3])
     return build_system(
         membership=membership,
-        timing=AsynchronousTiming(min_latency=0.1, max_latency=1.0),
+        timing=timing or AsynchronousTiming(min_latency=0.1, max_latency=1.0),
         program_factory=lambda pid, identity: _GossipProgram(),
         links=links,
         seed=4,
     )
 
 
+def _events_per_gossip_run(links, timing=None) -> int:
+    simulation = Simulation(_gossip_system(links, timing))
+    simulation.run(until=70.0)
+    return simulation.events_processed
+
+
 def test_broadcast_heavy_run_default_links(benchmark):
     """6 processes gossiping for 60 time units over the default reliable links.
 
     This pins the broadcast hot path itself (2160 scheduled deliveries per
-    run); the lazy-label and crash-lookup optimisations show up here.
+    run): event recycling, the tuple-keyed heap, batched timing draws, and
+    index-addressed delivery callbacks all show up here.
     """
     trace = benchmark(lambda: Simulation(_gossip_system(None)).run(until=70.0))
     assert trace.message_copies_delivered == trace.message_copies_sent
+    benchmark.extra_info["events_per_round"] = _events_per_gossip_run(None)
+    benchmark.extra_info["bench_core_key"] = "broadcast_default_links"
+
+
+def test_broadcast_heavy_run_synchronous_batched(benchmark):
+    """The gossip load under HSS timing, where every broadcast's deliveries
+    collapse into one batched heap entry (n recipients, one heap operation)."""
+    timing = SynchronousTiming(step=1.0)
+    trace = benchmark(lambda: Simulation(_gossip_system(None, timing)).run(until=70.0))
+    assert trace.message_copies_delivered == trace.message_copies_sent
+    benchmark.extra_info["events_per_round"] = _events_per_gossip_run(None, timing)
+    benchmark.extra_info["bench_core_key"] = "broadcast_synchronous_batched"
 
 
 def test_broadcast_heavy_run_under_adversarial_links(benchmark):
@@ -113,6 +191,8 @@ def test_broadcast_heavy_run_under_adversarial_links(benchmark):
     links = ComposedLinks((LossyLinks(loss=0.1), JitterLinks(max_jitter=0.5)))
     trace = benchmark(lambda: Simulation(_gossip_system(links)).run(until=70.0))
     assert 0 < trace.message_copies_delivered < trace.message_copies_sent
+    benchmark.extra_info["events_per_round"] = _events_per_gossip_run(links)
+    benchmark.extra_info["bench_core_key"] = "broadcast_adversarial_links"
 
 
 def test_multiset_algebra(benchmark):

@@ -1,0 +1,93 @@
+"""Compare two BENCH_core.json files and print the per-benchmark delta.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json [--max-regression PCT]
+
+Prints one line per benchmark key (median seconds, ns/event when available,
+and the relative change; negative = faster).  With ``--max-regression`` the
+exit status is non-zero when any shared benchmark slowed down by more than
+the given percentage — CI uses a generous bound because shared runners are
+noisy; the committed baseline is refreshed deliberately, not by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return payload.get("benchmarks", {})
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail when any benchmark slows down by more than PCT percent",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    keys = sorted(set(baseline) | set(current))
+    width = max((len(key) for key in keys), default=10)
+    worst = 0.0
+    missing_in_current: list[str] = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for key in keys:
+        old = baseline.get(key)
+        new = current.get(key)
+        if old is None or new is None:
+            status = "baseline-only" if new is None else "new"
+            if new is None:
+                missing_in_current.append(key)
+            known = old or new
+            print(f"{key:<{width}}  {known['median_seconds']:>12.6f}  {'—':>12}  ({status})")
+            continue
+        old_median = old["median_seconds"]
+        new_median = new["median_seconds"]
+        change = (new_median - old_median) / old_median * 100.0
+        worst = max(worst, change)
+        per_event = ""
+        if "median_ns_per_event" in new and "median_ns_per_event" in old:
+            per_event = (
+                f"   ({old['median_ns_per_event']:,.0f} → "
+                f"{new['median_ns_per_event']:,.0f} ns/event)"
+            )
+        print(
+            f"{key:<{width}}  {old_median:>12.6f}  {new_median:>12.6f}  "
+            f"{change:>+7.1f}%{per_event}"
+        )
+    if args.max_regression is not None:
+        # A benchmark that vanished from the current results is a failure in
+        # gated mode: either it crashed (the worst regression of all) or its
+        # coverage was silently dropped.
+        if missing_in_current:
+            print(
+                f"FAIL: benchmark(s) missing from current results: "
+                f"{', '.join(missing_in_current)}",
+                file=sys.stderr,
+            )
+            return 1
+        if worst > args.max_regression:
+            print(
+                f"FAIL: worst regression {worst:+.1f}% exceeds --max-regression "
+                f"{args.max_regression:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Determinism-digest manifest over the quick E1–E9 sweeps.
+
+Runs every experiment in quick mode (serially, in-process) while capturing the
+determinism digest of each underlying simulation, then prints one folded
+64-bit digest per experiment plus a manifest digest over all of them.
+
+Two builds of the simulator that print the same manifest dispatched exactly
+the same events, in the same order, for every run of every quick experiment —
+which is the equivalence gate hot-path refactors must pass::
+
+    PYTHONPATH=src python benchmarks/digest_manifest.py            # print
+    PYTHONPATH=src python benchmarks/digest_manifest.py -o m.json  # save JSON
+    PYTHONPATH=src python benchmarks/digest_manifest.py --check m.json
+
+``--check`` exits non-zero on any mismatch against a previously saved
+manifest, so a refactor branch can assert equivalence mechanically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import repro.sim.scheduler as scheduler_module
+from repro.runtime import Engine
+from repro.runtime.registry import EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS  # noqa: F401  (registers E1-E9)
+
+_DIGEST_MASK = 0xFFFFFFFFFFFFFFFF
+_FNV_PRIME = 1099511628211
+
+
+def _fold(digests: list[int]) -> int:
+    folded = 0
+    for digest in digests:
+        folded = ((folded * _FNV_PRIME) ^ digest) & _DIGEST_MASK
+    return folded
+
+
+def collect_manifest(seed: int = 0) -> dict[str, str]:
+    """Run every experiment quick and return ``{experiment: folded digest}``."""
+    manifest: dict[str, str] = {}
+    original_run = scheduler_module.Simulation.run
+    captured: list[int] = []
+
+    def capturing_run(self, **kwargs):
+        trace = original_run(self, **kwargs)
+        captured.append(self.queue.digest)
+        return trace
+
+    scheduler_module.Simulation.run = capturing_run
+    try:
+        for name in EXPERIMENTS.names():
+            captured.clear()
+            runner = EXPERIMENTS.resolve(name)
+            runner(quick=True, seed=seed, engine=Engine())
+            manifest[name] = f"{_fold(captured):016x}"
+    finally:
+        scheduler_module.Simulation.run = original_run
+    manifest["ALL"] = f"{_fold([int(v, 16) for k, v in sorted(manifest.items())]):016x}"
+    return manifest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", metavar="FILE", help="write the manifest as JSON")
+    parser.add_argument(
+        "--check", metavar="FILE", help="compare against a saved manifest; non-zero on mismatch"
+    )
+    args = parser.parse_args(argv)
+
+    manifest = collect_manifest(seed=args.seed)
+    for name, digest in manifest.items():
+        print(f"{name:>4}  {digest}")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"manifest written to {args.output}")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            expected = json.load(handle)
+        mismatches = {
+            name: (expected.get(name), digest)
+            for name, digest in manifest.items()
+            if expected.get(name) != digest
+        }
+        if mismatches:
+            for name, (want, got) in mismatches.items():
+                print(f"MISMATCH {name}: expected {want}, got {got}", file=sys.stderr)
+            return 1
+        print(f"manifest matches {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

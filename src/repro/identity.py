@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
 
 __all__ = ["ProcessId", "Identity", "IdentityMultiset", "ANONYMOUS_IDENTITY"]
@@ -37,7 +36,6 @@ ANONYMOUS_IDENTITY: str = "⊥"  # ⊥
 Identity = Hashable
 
 
-@dataclass(frozen=True, order=True)
 class ProcessId:
     """Internal, unique handle of a process ``p ∈ Π``.
 
@@ -45,9 +43,51 @@ class ProcessId:
     it: it exists so the simulator, the failure patterns, and the property
     checkers can talk about *processes* rather than (possibly shared)
     identifiers.
+
+    Implemented as an immutable ``__slots__`` class with hand-written
+    comparisons and ``hash(p) == p.index``: process ids key every delivery
+    callback lookup and sort on the simulator's hot path, where the generated
+    dataclass tuple machinery measurably dominated.
     """
 
-    index: int
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        object.__setattr__(self, "index", index)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"ProcessId is immutable; cannot set {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is ProcessId:
+            return self.index == other.index
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __lt__(self, other: "ProcessId") -> bool:
+        if other.__class__ is ProcessId:
+            return self.index < other.index
+        return NotImplemented
+
+    def __le__(self, other: "ProcessId") -> bool:
+        if other.__class__ is ProcessId:
+            return self.index <= other.index
+        return NotImplemented
+
+    def __gt__(self, other: "ProcessId") -> bool:
+        if other.__class__ is ProcessId:
+            return self.index > other.index
+        return NotImplemented
+
+    def __ge__(self, other: "ProcessId") -> bool:
+        if other.__class__ is ProcessId:
+            return self.index >= other.index
+        return NotImplemented
+
+    def __reduce__(self):
+        return (ProcessId, (self.index,))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"p{self.index}"

@@ -58,6 +58,8 @@ class Membership:
             "_by_identity",
             {identity: tuple(sorted(members)) for identity, members in grouped.items()},
         )
+        # The ordered process tuple is read once per broadcast; sort it once.
+        object.__setattr__(self, "_processes", tuple(sorted(frozen)))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -84,7 +86,7 @@ class Membership:
     @property
     def processes(self) -> tuple[ProcessId, ...]:
         """All processes, ordered by internal index."""
-        return tuple(sorted(self.identities))
+        return self._processes
 
     @property
     def distinct_identities(self) -> frozenset:

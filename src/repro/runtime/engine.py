@@ -75,12 +75,20 @@ class RunRecord:
     ``metrics`` holds the measured outcome; both are plain JSON-serializable
     data, so records from serial and parallel runs compare equal and a JSONL
     log line is just ``to_dict()``.
+
+    ``digest`` is the run's determinism digest (see
+    :attr:`repro.sim.Simulation.digest`): a 64-bit hex fingerprint of the
+    exact event dispatch order.  Equal digests mean behaviourally identical
+    runs, so serial and parallel sweeps — and pre/post-refactor builds — can
+    be compared mechanically.  It is kept out of ``metrics`` so experiment
+    tables and aggregations are unaffected.
     """
 
     scenario: str
     seed: int
     config: Mapping[str, Any] = field(default_factory=dict)
     metrics: Mapping[str, Any] = field(default_factory=dict)
+    digest: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "config", dict(self.config))
@@ -97,6 +105,7 @@ class RunRecord:
             "seed": self.seed,
             "config": dict(self.config),
             "metrics": dict(self.metrics),
+            "digest": self.digest,
         }
 
     @classmethod
@@ -106,6 +115,7 @@ class RunRecord:
             seed=payload.get("seed", 0),
             config=dict(payload.get("config", {})),
             metrics=dict(payload.get("metrics", {})),
+            digest=payload.get("digest", ""),
         )
 
 
@@ -172,7 +182,13 @@ def run_once(
         result = CHECKS.resolve(check)(trace, pattern)
         metrics[f"{check}_ok"] = result.ok
         metrics[f"{check}_time"] = result.stabilization_time
-    return RunRecord(scenario=scenario, seed=seed, config=config or {}, metrics=metrics)
+    return RunRecord(
+        scenario=scenario,
+        seed=seed,
+        config=config or {},
+        metrics=metrics,
+        digest=simulation.digest,
+    )
 
 
 def execute_spec(spec: ScenarioSpec) -> RunRecord:

@@ -12,7 +12,15 @@ executed by the :class:`~repro.sim.scheduler.Simulation` engine over a
 """
 
 from .clock import Clock, Time
-from .events import Event, EventQueue
+from .events import (
+    KIND_CRASH,
+    KIND_DELIVERY,
+    KIND_DETECTOR,
+    KIND_INTERNAL,
+    KIND_RESUME,
+    Event,
+    EventQueue,
+)
 from .failures import CrashEvent, CrashSchedule, FailurePattern, crash_free
 from .links import (
     AsymmetricLinks,
@@ -67,6 +75,11 @@ __all__ = [
     "EventQueue",
     "FailurePattern",
     "JitterLinks",
+    "KIND_CRASH",
+    "KIND_DELIVERY",
+    "KIND_DETECTOR",
+    "KIND_INTERNAL",
+    "KIND_RESUME",
     "LinkModel",
     "LossyLinks",
     "Message",

@@ -123,11 +123,14 @@ class LossyLinks(LinkModel):
         if not 0.0 <= self.loss <= 1.0:
             raise ConfigurationError("loss must be a probability")
         _validate_window(self.start, self.end)
+        # Cached window end: ``deliveries`` runs once per message copy, so it
+        # must not re-derive ``inf`` from ``None`` on every call.
+        object.__setattr__(self, "_end_time", _window_end(self.end))
 
     def deliveries(self, sender, receiver, sent_at, times, rng):
         if not times or self.loss <= 0.0:
             return times
-        if not (self.start <= sent_at < _window_end(self.end)):
+        if not (self.start <= sent_at < self._end_time):
             return times
         return tuple(when for when in times if rng.random() >= self.loss)
 
@@ -164,11 +167,12 @@ class DuplicatingLinks(LinkModel):
         if self.spread < 0:
             raise ConfigurationError("spread cannot be negative")
         _validate_window(self.start, self.end)
+        object.__setattr__(self, "_end_time", _window_end(self.end))
 
     def deliveries(self, sender, receiver, sent_at, times, rng):
         if not times or self.probability <= 0.0:
             return times
-        if not (self.start <= sent_at < _window_end(self.end)):
+        if not (self.start <= sent_at < self._end_time):
             return times
         expanded: list[Time] = []
         for when in times:
@@ -205,13 +209,16 @@ class JitterLinks(LinkModel):
         if self.max_jitter < 0:
             raise ConfigurationError("max_jitter cannot be negative")
         _validate_window(self.start, self.end)
+        object.__setattr__(self, "_end_time", _window_end(self.end))
 
     def deliveries(self, sender, receiver, sent_at, times, rng):
         if not times or self.max_jitter <= 0.0:
             return times
-        if not (self.start <= sent_at < _window_end(self.end)):
+        if not (self.start <= sent_at < self._end_time):
             return times
-        return tuple(when + rng.uniform(0.0, self.max_jitter) for when in times)
+        # uniform(0, b) is 0.0 + (b - 0.0) * random(); identical draw, no call.
+        max_jitter = self.max_jitter
+        return tuple(when + max_jitter * rng.random() for when in times)
 
     def extra_delay_bound(self) -> Time:
         return self.max_jitter
@@ -309,10 +316,11 @@ class Partition(LinkModel):
         object.__setattr__(
             self, "_block_of", {index: i for i, block in enumerate(blocks) for index in block}
         )
+        object.__setattr__(self, "_end_time", _window_end(self.end))
 
     def severs(self, sender: ProcessId, receiver: ProcessId, at: Time) -> bool:
         """Whether the ``sender → receiver`` link is cut at time ``at``."""
-        if not (self.start <= at < _window_end(self.end)):
+        if not (self.start <= at < self._end_time):
             return False
         block_of: dict[int, int] = getattr(self, "_block_of")
         sender_block = block_of.get(sender.index)

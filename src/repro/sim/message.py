@@ -16,7 +16,7 @@ from typing import Any, Mapping
 __all__ = ["Message"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An immutable message as seen by the receiving algorithm.
 
@@ -24,12 +24,18 @@ class Message:
     ``payload`` an immutable mapping of named fields.  Field access is provided
     through :meth:`__getitem__` and :meth:`get` for readability in algorithm
     code: ``msg["round"]``.
+
+    ``slots=True`` keeps the envelope small and its field access cheap: one
+    message object is allocated per ``broadcast(m)`` and then shared by every
+    scheduled delivery, so the envelope sits on the simulator's hot path.
     """
 
     kind: str
     payload: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Defensive copy: the envelope is shared by every scheduled delivery,
+        # so a caller-retained payload mapping must not alias into it.
         object.__setattr__(self, "payload", dict(self.payload))
 
     def __getitem__(self, key: str) -> Any:

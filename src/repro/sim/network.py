@@ -27,7 +27,7 @@ from ..errors import SimulationError
 from ..identity import ProcessId
 from ..membership import Membership
 from .clock import Clock
-from .events import EventQueue
+from .events import KIND_DELIVERY, EventQueue
 from .failures import CrashEvent, FailurePattern
 from .links import LinkModel, ReliableLinks
 from .message import Message
@@ -71,15 +71,22 @@ class Network:
         # call keeps the default broadcast path as lean as before the layer
         # existed (and RNG-draw-identical, since ReliableLinks never draws).
         self._links_are_reliable = type(self._links) is ReliableLinks
+        # The full recipient tuple never changes; resolve it once instead of
+        # re-deriving it from the membership on every broadcast.
+        self._everyone: tuple[ProcessId, ...] = membership.processes
+        index_bound = max(process.index for process in self._everyone) + 1
         # Only crashes that may truncate a same-instant broadcast matter to
-        # the hot path; resolving them once here replaces a linear scan of
-        # the whole schedule on every broadcast.
-        self._partial_crash_of: dict[ProcessId, CrashEvent] = {
-            event.process: event
-            for event in failure_pattern.schedule.events
-            if event.partial_broadcast_fraction is not None
-        }
+        # the hot path; resolving them once here (into an index-addressed
+        # list, so the per-broadcast probe is one list access instead of a
+        # dict hash) replaces a linear scan of the schedule per broadcast.
+        self._partial_crash_by_index: list[CrashEvent | None] = [None] * index_bound
+        for event in failure_pattern.schedule.events:
+            if event.partial_broadcast_fraction is not None:
+                self._partial_crash_by_index[event.process.index] = event
         self._deliver_to: Mapping[ProcessId, Callable[[Message], None]] = {}
+        # Delivery callbacks addressed by process index: list indexing beats
+        # dict hashing for the one lookup every message copy must make.
+        self._deliver_by_index: list[Callable[[Message], None] | None] = []
 
     @property
     def links(self) -> LinkModel:
@@ -92,24 +99,79 @@ class Network:
         if missing:
             raise SimulationError(f"no delivery callback for processes {sorted(missing)}")
         self._deliver_to = dict(deliver_to)
+        index_bound = max(process.index for process in deliver_to) + 1
+        by_index: list[Callable[[Message], None] | None] = [None] * index_bound
+        for process, callback in deliver_to.items():
+            by_index[process.index] = callback
+        self._deliver_by_index = by_index
 
     # ------------------------------------------------------------------
     # The broadcast primitive
     # ------------------------------------------------------------------
     def broadcast(self, sender: ProcessId, message: Message) -> None:
-        """Send one copy of ``message`` along the link to every process."""
-        deliver_to = self._deliver_to
-        if not deliver_to:
+        """Send one copy of ``message`` along the link to every process.
+
+        Three paths, fastest first, all draw-for-draw and dispatch-order
+        identical (checked by the determinism digest):
+
+        * reliable links + uniform delivery (HSS): every copy arrives at the
+          same deterministic instant, so the whole broadcast becomes one
+          batched heap entry — ``n`` recipients cost one heap operation;
+        * reliable links, per-receiver draws (HAS/HPS): one amortised
+          :meth:`~repro.sim.timing.TimingModel.delivery_times` call, one
+          (possibly recycled) event per surviving copy;
+        * adversarial links: the full per-copy pipeline through
+          :meth:`~repro.sim.links.LinkModel.deliveries`, preserving the
+          per-receiver RNG draw interleaving.
+        """
+        deliver = self._deliver_by_index
+        if not deliver:
             raise SimulationError("the network has not been connected to any processes")
         sent_at = self._clock.now
         recipients = self._recipients_for(sender, sent_at)
         self._trace.record_broadcast(message.kind, copies=len(recipients))
         timing = self._timing
-        links = self._links
-        reliable = self._links_are_reliable
         rng = self._rng
         queue = self._queue
         debug = queue.debug_labels
+        if self._links_are_reliable:
+            if timing.uniform_delivery and len(recipients) > 1 and not debug:
+                drawn = timing.delivery_time(sender, recipients[0], sent_at, rng)
+                if drawn is None:
+                    return
+                if drawn < sent_at:
+                    raise SimulationError(
+                        f"timing model produced a delivery before the send time "
+                        f"({drawn} < {sent_at})"
+                    )
+                queue.schedule_batch(
+                    drawn,
+                    [deliver[receiver.index] for receiver in recipients],
+                    args=(message,),
+                    priority=_DELIVERY_PRIORITY,
+                    kind=KIND_DELIVERY,
+                )
+                return
+            schedule = queue.schedule
+            times = timing.delivery_times(sender, recipients, sent_at, rng)
+            for receiver, when in zip(recipients, times):
+                if when is None:
+                    continue  # lost before GST (partially synchronous model only)
+                if when < sent_at:
+                    raise SimulationError(
+                        f"timing model produced a delivery before the send time "
+                        f"({when} < {sent_at})"
+                    )
+                schedule(
+                    when,
+                    deliver[receiver.index],
+                    args=(message,),
+                    priority=_DELIVERY_PRIORITY,
+                    label=f"deliver {message.kind} to {receiver!r}" if debug else "",
+                    kind=KIND_DELIVERY,
+                )
+            return
+        links = self._links
         for receiver in recipients:
             drawn = timing.delivery_time(sender, receiver, sent_at, rng)
             if drawn is None:
@@ -119,11 +181,7 @@ class Network:
                     f"timing model produced a delivery before the send time "
                     f"({drawn} < {sent_at})"
                 )
-            if reliable:
-                times: tuple[float, ...] = (drawn,)
-            else:
-                times = links.deliveries(sender, receiver, sent_at, (drawn,), rng)
-            for when in times:
+            for when in links.deliveries(sender, receiver, sent_at, (drawn,), rng):
                 if when < sent_at:
                     raise SimulationError(
                         f"link model produced a delivery before the send time "
@@ -131,11 +189,11 @@ class Network:
                     )
                 queue.schedule(
                     when,
-                    deliver_to[receiver],
+                    deliver[receiver.index],
                     args=(message,),
                     priority=_DELIVERY_PRIORITY,
                     label=f"deliver {message.kind} to {receiver!r}" if debug else "",
-                    not_before=sent_at,
+                    kind=KIND_DELIVERY,
                 )
 
     # ------------------------------------------------------------------
@@ -150,8 +208,8 @@ class Network:
         event is applied after same-time process activity): a random subset of
         the configured size receives the copy.
         """
-        everyone = self._membership.processes
-        crash_event = self._partial_crash_of.get(sender)
+        everyone = self._everyone
+        crash_event = self._partial_crash_by_index[sender.index]
         if (
             crash_event is not None
             and abs(crash_event.time - sent_at) <= _CRASH_BROADCAST_TOLERANCE

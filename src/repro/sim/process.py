@@ -33,7 +33,7 @@ from typing import Any, Callable, Generator, Iterable
 from ..errors import ProcessCrashedError, SimulationError
 from ..identity import Identity, ProcessId
 from .clock import Clock, Time
-from .events import Event, EventQueue
+from .events import KIND_RESUME, Event, EventQueue
 from .message import Message
 from .timing import SynchronousTiming, TimingModel
 from .trace import RunTrace
@@ -51,7 +51,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Blocking requests that tasks may yield
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sleep:
     """Suspend the task for ``duration`` simulated time units."""
 
@@ -62,7 +62,7 @@ class Sleep:
             raise SimulationError("cannot sleep for a negative duration")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitUntil:
     """Suspend the task until ``predicate()`` becomes true.
 
@@ -74,7 +74,7 @@ class WaitUntil:
     predicate: Callable[[], bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NextSyncStep:
     """Suspend the task until the next synchronous step boundary (HSS only)."""
 
@@ -367,6 +367,7 @@ class ProcessRuntime:
             label=f"resume {self.process_id!r}.{task.name}"
             if self._queue.debug_labels
             else "",
+            kind=KIND_RESUME,
             not_before=self.clock.now,
         )
 
@@ -413,5 +414,6 @@ class ProcessRuntime:
             label=f"sync-step {self.process_id!r}.{task.name}"
             if self._queue.debug_labels
             else "",
+            kind=KIND_RESUME,
             not_before=self.clock.now,
         )

@@ -15,7 +15,7 @@ from typing import Callable
 from ..errors import SimulationError
 from ..identity import ProcessId
 from .clock import Clock, Time
-from .events import EventQueue
+from .events import KIND_CRASH, KIND_DELIVERY, KIND_DETECTOR, EventQueue
 from .failures import FailurePattern
 from .network import Network
 from .process import ProcessRuntime
@@ -40,7 +40,7 @@ class Simulation:
     def __init__(self, system: System) -> None:
         self.system = system
         self.clock = Clock()
-        self.queue = EventQueue()
+        self.queue = EventQueue(debug_labels=system.debug)
         self.trace = RunTrace()
         self.rng_streams = RngStreams(system.seed)
         self.failure_pattern: FailurePattern = system.failure_pattern()
@@ -108,11 +108,17 @@ class Simulation:
                 runtime.crash,
                 priority=_CRASH_PRIORITY,
                 label=f"crash {event.process!r}",
+                kind=KIND_CRASH,
             )
 
     def _schedule_callback(self, when: Time, action: Callable[[], None]):
         return self.queue.schedule(
-            when, action, priority=3, label="detector-wakeup", not_before=None
+            when,
+            action,
+            priority=3,
+            label="detector-wakeup",
+            kind=KIND_DETECTOR,
+            not_before=None,
         )
 
     # ------------------------------------------------------------------
@@ -154,21 +160,27 @@ class Simulation:
             self.trace.mark_end(self.clock.now)
             return self.trace
         stopped_early = False
+        queue = self.queue
+        clock = self.clock
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > until:
-                break
-            event = self.queue.pop_next()
+            # One fused call: returns None both when the queue is empty and
+            # when the next event lies beyond the horizon.
+            event = queue.pop_next(until)
             if event is None:
                 break
-            self.clock.advance_to(event.time)
-            event.run()
+            clock.advance_to(event.time)
+            event.action(*event.args)
             self._events_processed += 1
             if self._events_processed > max_events:
                 raise SimulationError(
                     f"the run exceeded {max_events} events; "
                     "the algorithm is probably not quiescing"
                 )
+            # Delivery events are never cancelled and their handles are never
+            # retained, so the dispatched object can be reused by the next
+            # schedule() instead of allocating a fresh one.
+            if event.kind == KIND_DELIVERY and event.batch is None:
+                queue.recycle(event)
             if stop_when is not None and stop_when(self):
                 stopped_early = True
                 break
@@ -186,6 +198,16 @@ class Simulation:
     def events_processed(self) -> int:
         """How many events have been executed so far."""
         return self._events_processed
+
+    @property
+    def digest(self) -> str:
+        """The run's determinism digest as a fixed-width hex string.
+
+        Equal digests mean the run dispatched exactly the same events (same
+        times, priorities, sequence numbers, and kinds) in the same order —
+        see :attr:`repro.sim.events.EventQueue.digest`.
+        """
+        return f"{self.queue.digest:016x}"
 
     def correct_processes(self) -> frozenset[ProcessId]:
         """The correct processes of this run's failure pattern."""

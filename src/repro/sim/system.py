@@ -122,7 +122,11 @@ class CompositeProgram(ProcessProgram):
 
 @dataclass
 class System:
-    """A complete, declarative run configuration."""
+    """A complete, declarative run configuration.
+
+    ``debug`` opts one run into diagnostic mode: the simulation's event queue
+    builds human-readable event labels (skipped on the hot path otherwise).
+    """
 
     membership: Membership
     timing: TimingModel
@@ -133,6 +137,7 @@ class System:
     model: SystemModel = SystemModel.HAS
     seed: int = 0
     name: str = ""
+    debug: bool = False
 
     def __post_init__(self) -> None:
         self.crash_schedule.validate_against(self.membership)
@@ -171,6 +176,7 @@ def build_system(
     model: SystemModel | None = None,
     seed: int = 0,
     name: str = "",
+    debug: bool = False,
 ) -> System:
     """Build a :class:`System`, inferring the model from the timing when omitted."""
     if model is None:
@@ -185,6 +191,7 @@ def build_system(
         model=model,
         seed=seed,
         name=name,
+        debug=debug,
     )
 
 

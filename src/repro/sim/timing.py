@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import ConfigurationError
 from ..identity import ProcessId
@@ -41,6 +42,12 @@ class TimingModel:
     #: Whether the model drives processes in lock-step rounds (HSS only).
     synchronous_steps: bool = False
 
+    #: Whether one broadcast's copies all arrive at the same drawn time for
+    #: every receiver, with no per-receiver randomness (HSS only).  The
+    #: network uses this to collapse a reliable broadcast's ``n`` deliveries
+    #: into one batched heap entry.
+    uniform_delivery: bool = False
+
     def delivery_time(
         self,
         sender: ProcessId,
@@ -54,6 +61,22 @@ class TimingModel:
         synchronous model; the other models always return a time.
         """
         raise NotImplementedError
+
+    def delivery_times(
+        self,
+        sender: ProcessId,
+        receivers: Sequence[ProcessId],
+        sent_at: Time,
+        rng: random.Random,
+    ) -> list[Time | None]:
+        """Draw per-receiver delivery times, in receiver order.
+
+        Semantically identical to calling :meth:`delivery_time` once per
+        receiver (same draws, same order); concrete models may override it to
+        amortise per-call overhead across a whole broadcast.
+        """
+        delivery_time = self.delivery_time
+        return [delivery_time(sender, receiver, sent_at, rng) for receiver in receivers]
 
     def step_delay(self, process: ProcessId, at: Time, rng: random.Random) -> Time:
         """Return the local-step duration charged when a task resumes."""
@@ -86,6 +109,11 @@ class AsynchronousTiming(TimingModel):
             )
         if self.min_step < 0 or self.max_step < self.min_step:
             raise ConfigurationError("steps must satisfy 0 <= min_step <= max_step")
+        # Per-draw spans, precomputed once.  ``a + span * random()`` performs
+        # the exact floating-point operations of ``rng.uniform(a, b)``, so the
+        # cached fast path is draw-for-draw and bit-for-bit identical.
+        self._latency_span = self.max_latency - self.min_latency
+        self._step_span = self.max_step - self.min_step
 
     def delivery_time(
         self,
@@ -94,12 +122,24 @@ class AsynchronousTiming(TimingModel):
         sent_at: Time,
         rng: random.Random,
     ) -> Time | None:
-        return sent_at + rng.uniform(self.min_latency, self.max_latency)
+        return sent_at + (self.min_latency + self._latency_span * rng.random())
+
+    def delivery_times(
+        self,
+        sender: ProcessId,
+        receivers: Sequence[ProcessId],
+        sent_at: Time,
+        rng: random.Random,
+    ) -> list[Time | None]:
+        base = self.min_latency
+        span = self._latency_span
+        rand = rng.random
+        return [sent_at + (base + span * rand()) for _ in receivers]
 
     def step_delay(self, process: ProcessId, at: Time, rng: random.Random) -> Time:
         if self.max_step <= 0:
             return 0.0
-        return rng.uniform(self.min_step, self.max_step)
+        return self.min_step + self._step_span * rng.random()
 
     def describe(self) -> str:
         return f"async latency∈[{self.min_latency},{self.max_latency}]"
@@ -141,6 +181,9 @@ class PartiallySynchronousTiming(TimingModel):
             raise ConfigurationError("pre_gst_max_latency must be at least delta")
         if self.max_step < 0:
             raise ConfigurationError("max_step cannot be negative")
+        # Precomputed uniform-draw spans; see AsynchronousTiming.__post_init__.
+        self._timely_span = self.delta - self.min_latency
+        self._pre_gst_span = self.pre_gst_max_latency - self.min_latency
 
     def delivery_time(
         self,
@@ -150,15 +193,16 @@ class PartiallySynchronousTiming(TimingModel):
         rng: random.Random,
     ) -> Time | None:
         if sent_at >= self.gst:
-            return sent_at + rng.uniform(self.min_latency, self.delta)
+            return sent_at + (self.min_latency + self._timely_span * rng.random())
         if rng.random() < self.pre_gst_loss:
             return None
-        return sent_at + rng.uniform(self.min_latency, self.pre_gst_max_latency)
+        return sent_at + (self.min_latency + self._pre_gst_span * rng.random())
 
     def step_delay(self, process: ProcessId, at: Time, rng: random.Random) -> Time:
         if self.max_step <= 0:
             return 0.0
-        return rng.uniform(0.0, self.max_step)
+        # uniform(0, b) is 0.0 + (b - 0.0) * random(); identical draw, no call.
+        return self.max_step * rng.random()
 
     def describe(self) -> str:
         return f"partially-synchronous GST={self.gst} δ={self.delta}"
@@ -179,6 +223,9 @@ class SynchronousTiming(TimingModel):
     delivery_fraction: float = 0.5
 
     synchronous_steps = True
+    # Every receiver of one broadcast gets the same deterministic delivery
+    # time, so the network can schedule the whole broadcast as one batch.
+    uniform_delivery = True
 
     def __post_init__(self) -> None:
         if self.step <= 0:

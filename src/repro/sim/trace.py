@@ -8,7 +8,7 @@ code writes to the trace only through ``ctx.record`` / ``ctx.decide``.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -46,8 +46,11 @@ class RunTrace:
         self._records_by_key: dict[tuple[ProcessId, str], list[TraceRecord]] = defaultdict(list)
         self._decisions: dict[ProcessId, Decision] = {}
         self._crashes: dict[ProcessId, Time] = {}
-        self._sends_by_kind: Counter[str] = Counter()
-        self._deliveries_by_kind: Counter[str] = Counter()
+        # Plain dicts with ``.get`` defaults: these counters tick once per
+        # broadcast and once per delivered copy, where Counter's Python-level
+        # ``__missing__`` shows up in profiles.
+        self._sends_by_kind: dict[str, int] = {}
+        self._deliveries_by_kind: dict[str, int] = {}
         self._send_copies = 0
         self._broadcast_invocations = 0
         self._end_time: Time = 0.0
@@ -77,12 +80,14 @@ class RunTrace:
     def record_broadcast(self, kind: str, copies: int) -> None:
         """Record one broadcast invocation producing ``copies`` link messages."""
         self._broadcast_invocations += 1
-        self._sends_by_kind[kind] += 1
+        sends = self._sends_by_kind
+        sends[kind] = sends.get(kind, 0) + 1
         self._send_copies += copies
 
     def record_delivery(self, kind: str) -> None:
         """Record one message copy delivered to a process."""
-        self._deliveries_by_kind[kind] += 1
+        deliveries = self._deliveries_by_kind
+        deliveries[kind] = deliveries.get(kind, 0) + 1
 
     def mark_end(self, time: Time) -> None:
         """Record the time at which the simulation stopped."""
