@@ -4,11 +4,15 @@ Usage::
 
     python benchmarks/compare_bench.py BASELINE.json CURRENT.json [--max-regression PCT]
 
-Prints one line per benchmark key (median seconds, ns/event when available,
-and the relative change; negative = faster).  With ``--max-regression`` the
-exit status is non-zero when any shared benchmark slowed down by more than
-the given percentage — CI uses a generous bound because shared runners are
-noisy; the committed baseline is refreshed deliberately, not by CI.
+Prints one line per benchmark key (median seconds, ns/event or runs/sec when
+available, and the relative change; negative = faster).  With
+``--max-regression`` the comparison is a *gate*: the exit status is non-zero
+when any shared benchmark's median slowed down by more than the given
+percentage, or when a tracked benchmark vanished from the current results.
+CI runs the gate at 25% — generous because shared runners are noisy, but a
+real regression in any tracked median now fails the build instead of
+scrolling past as information.  The committed baseline is refreshed
+deliberately, not by CI.
 """
 
 from __future__ import annotations
@@ -63,6 +67,11 @@ def main(argv: list[str] | None = None) -> int:
             per_event = (
                 f"   ({old['median_ns_per_event']:,.0f} → "
                 f"{new['median_ns_per_event']:,.0f} ns/event)"
+            )
+        elif "runs_per_second" in new and "runs_per_second" in old:
+            per_event = (
+                f"   ({old['runs_per_second']:,.1f} → "
+                f"{new['runs_per_second']:,.1f} runs/s)"
             )
         print(
             f"{key:<{width}}  {old_median:>12.6f}  {new_median:>12.6f}  "

@@ -8,9 +8,13 @@ the reported numbers; pass ``-s`` to see them inline.
 After every benchmark run, core-substrate benchmarks (those that set
 ``benchmark.extra_info["bench_core_key"]``) are folded into
 ``BENCH_core.json`` — median seconds per round and, when the benchmark
-declares ``events_per_round``, median ns/event.  The file is written to the
-repository root (override with the ``BENCH_CORE_JSON`` environment variable)
-and the committed copy is the perf baseline each PR is compared against::
+declares ``events_per_round``, median ns/event; ``runs_per_round`` (the
+sweep-throughput benchmarks) likewise derives ``runs_per_second``.  The file
+(schema ``bench-core/2``) is written to the repository root (override with
+the ``BENCH_CORE_JSON`` environment variable) and the committed copy is the
+perf baseline CI *enforces* — ``benchmarks/compare_bench.py
+--max-regression`` fails the build when a tracked median regresses past the
+budget::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_core_microbenchmarks.py \
         --benchmark-only                  # refreshes BENCH_core.json
@@ -60,6 +64,10 @@ def pytest_sessionfinish(session, exitstatus):
         if events:
             entry["events_per_round"] = events
             entry["median_ns_per_event"] = median_seconds * 1e9 / events
+        runs = extra.get("runs_per_round")
+        if runs:
+            entry["runs_per_round"] = runs
+            entry["runs_per_second"] = runs / median_seconds
         entries[key] = entry
     if not entries:
         return
@@ -77,7 +85,7 @@ def pytest_sessionfinish(session, exitstatus):
         pass
     merged.update(entries)
     payload = {
-        "schema": "bench-core/1",
+        "schema": "bench-core/2",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benchmarks": {key: merged[key] for key in sorted(merged)},

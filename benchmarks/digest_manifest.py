@@ -1,19 +1,31 @@
 """Determinism-digest manifest over the quick E1–E9 sweeps.
 
-Runs every experiment in quick mode (serially, in-process) while capturing the
-determinism digest of each underlying simulation, then prints one folded
-64-bit digest per experiment plus a manifest digest over all of them.
+Runs every experiment in quick mode while capturing the determinism digest of
+each underlying simulation, then prints one folded 64-bit digest per
+experiment plus a manifest digest over all of them.
 
 Two builds of the simulator that print the same manifest dispatched exactly
 the same events, in the same order, for every run of every quick experiment —
-which is the equivalence gate hot-path refactors must pass::
+which is the equivalence gate hot-path refactors must pass.  The same gate
+covers the execution stack: ``--jobs``/``--pool`` route the sweeps through
+the warm (persistent) or cold (per-call) process pool, and the manifest must
+be bit-identical to the serial one::
 
-    PYTHONPATH=src python benchmarks/digest_manifest.py            # print
+    PYTHONPATH=src python benchmarks/digest_manifest.py            # serial
     PYTHONPATH=src python benchmarks/digest_manifest.py -o m.json  # save JSON
-    PYTHONPATH=src python benchmarks/digest_manifest.py --check m.json
+    PYTHONPATH=src python benchmarks/digest_manifest.py --jobs 4 --pool warm --check m.json
+    PYTHONPATH=src python benchmarks/digest_manifest.py --jobs 4 --pool cold --check m.json
 
 ``--check`` exits non-zero on any mismatch against a previously saved
 manifest, so a refactor branch can assert equivalence mechanically.
+
+Capture mechanics: serially, ``Simulation.run`` is wrapped in-process (the
+historical mechanism, so manifests stay comparable across PRs).  Through a
+pool, a parent-side wrap never reaches the ``spawn``-started workers, so the
+dispatched function is wrapped with
+:func:`repro.runtime.run_with_digest_capture` instead — each worker returns
+its runs' digests alongside the result and they are folded in input order,
+which equals the serial execution order.
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ import json
 import sys
 
 import repro.sim.scheduler as scheduler_module
-from repro.runtime import Engine
+from repro.runtime import Engine, executor_for, run_with_digest_capture
 from repro.runtime.registry import EXPERIMENTS
 from repro.experiments import ALL_EXPERIMENTS  # noqa: F401  (registers E1-E9)
 
@@ -38,8 +50,36 @@ def _fold(digests: list[int]) -> int:
     return folded
 
 
-def collect_manifest(seed: int = 0) -> dict[str, str]:
-    """Run every experiment quick and return ``{experiment: folded digest}``."""
+class _DigestCapturingExecutor:
+    """Wrap an executor so worker-side digests land in ``sink``, in input order."""
+
+    def __init__(self, inner, sink: list[int]) -> None:
+        self._inner = inner
+        self._sink = sink
+        self.jobs = inner.jobs
+
+    def imap(self, fn, items):
+        tasks = [(fn, item) for item in items]
+        inner_imap = getattr(self._inner, "imap", None)
+        if inner_imap is not None:
+            pairs = inner_imap(run_with_digest_capture, tasks)
+        else:
+            pairs = iter(self._inner.map(run_with_digest_capture, tasks))
+        for result, digests in pairs:
+            self._sink.extend(digests)
+            yield result
+
+    def map(self, fn, items):
+        return list(self.imap(fn, items))
+
+    def close(self) -> None:
+        closer = getattr(self._inner, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _collect_serial(seed: int) -> dict[str, str]:
+    """The historical in-process capture (comparable across PR manifests)."""
     manifest: dict[str, str] = {}
     original_run = scheduler_module.Simulation.run
     captured: list[int] = []
@@ -58,6 +98,38 @@ def collect_manifest(seed: int = 0) -> dict[str, str]:
             manifest[name] = f"{_fold(captured):016x}"
     finally:
         scheduler_module.Simulation.run = original_run
+    return manifest
+
+
+def _collect_pooled(seed: int, jobs: int, pool: str) -> dict[str, str]:
+    """Capture through a warm or cold process pool (digests travel with results)."""
+    manifest: dict[str, str] = {}
+    sink: list[int] = []
+    executor = _DigestCapturingExecutor(executor_for(jobs, pool=pool), sink)
+    try:
+        for name in EXPERIMENTS.names():
+            sink.clear()
+            runner = EXPERIMENTS.resolve(name)
+            # Any simulation an experiment might run in the parent process —
+            # outside engine dispatch — lands in the same sink, in call order.
+            previous = scheduler_module.DIGEST_SINK
+            scheduler_module.DIGEST_SINK = sink
+            try:
+                runner(quick=True, seed=seed, engine=Engine(executor))
+            finally:
+                scheduler_module.DIGEST_SINK = previous
+            manifest[name] = f"{_fold(sink):016x}"
+    finally:
+        executor.close()
+    return manifest
+
+
+def collect_manifest(seed: int = 0, *, jobs: int | None = None, pool: str = "warm") -> dict[str, str]:
+    """Run every experiment quick and return ``{experiment: folded digest}``."""
+    if jobs is not None and jobs > 1:
+        manifest = _collect_pooled(seed, jobs, pool)
+    else:
+        manifest = _collect_serial(seed)
     manifest["ALL"] = f"{_fold([int(v, 16) for k, v in sorted(manifest.items())]):016x}"
     return manifest
 
@@ -65,13 +137,27 @@ def collect_manifest(seed: int = 0) -> dict[str, str]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sweeps through a process pool of N workers "
+        "(default: serial, in-process)",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=("warm", "cold"),
+        default="warm",
+        help="pool mode for --jobs > 1 (default: warm)",
+    )
     parser.add_argument("-o", "--output", metavar="FILE", help="write the manifest as JSON")
     parser.add_argument(
         "--check", metavar="FILE", help="compare against a saved manifest; non-zero on mismatch"
     )
     args = parser.parse_args(argv)
 
-    manifest = collect_manifest(seed=args.seed)
+    manifest = collect_manifest(seed=args.seed, jobs=args.jobs, pool=args.pool)
     for name, digest in manifest.items():
         print(f"{name:>4}  {digest}")
 

@@ -24,6 +24,22 @@ class SimulationError(ReproError):
     """The simulation engine reached an invalid internal state."""
 
 
+class WorkerCrashError(ReproError):
+    """A worker process died while executing part of a sweep.
+
+    Raised by the process-pool executors in place of the bare
+    :class:`concurrent.futures.process.BrokenProcessPool`, naming the
+    scenarios (name + seed) that were in flight when the worker died so the
+    offending configuration can be reproduced serially.  ``candidates`` holds
+    the descriptions of every item whose result was lost; the crashing item
+    is guaranteed to be among them.
+    """
+
+    def __init__(self, message: str, *, candidates: "list[str] | None" = None) -> None:
+        super().__init__(message)
+        self.candidates: list[str] = list(candidates or [])
+
+
 class ProcessCrashedError(SimulationError):
     """An operation was attempted on behalf of a crashed process."""
 

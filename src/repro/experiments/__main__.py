@@ -4,7 +4,11 @@ Examples::
 
     python -m repro.experiments                     # run E1–E9 in quick mode
     python -m repro.experiments --full E4 E5        # full sweeps of E4 and E5
-    python -m repro.experiments --jobs 4            # sweep on four cores
+    python -m repro.experiments --jobs 4            # one warm worker pool,
+                                                    # reused across experiments
+    python -m repro.experiments --jobs 4 --pool cold   # fresh pool per sweep
+    python -m repro.experiments --cache .run-cache  # memoize completed runs
+    python -m repro.experiments --stream --jsonl runs.jsonl   # rows as they land
     python -m repro.experiments --format json E1    # machine-readable output
     python -m repro.experiments --seed 3 -o report.txt --jsonl runs.jsonl
 """
@@ -50,6 +54,28 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the sweeps (default 1 = serial)",
     )
     parser.add_argument(
+        "--pool",
+        choices=("warm", "cold"),
+        default="warm",
+        help="pool mode for --jobs > 1: 'warm' keeps one persistent worker "
+        "pool across all selected experiments (default); 'cold' spawns and "
+        "tears down a pool per sweep call",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="memoize completed runs in this directory, keyed on "
+        "(canonical-spec-hash, seed); repeated or resumed sweeps skip "
+        "recompute (the directory is created if missing)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print every run's record/row to stderr as one JSON line the "
+        "moment it completes (tables still print at the end; with --jsonl "
+        "the log flushes incrementally either way)",
+    )
+    parser.add_argument(
         "--format",
         choices=("table", "json"),
         default="table",
@@ -77,15 +103,26 @@ def main(argv: list[str] | None = None) -> int:
             f"available: {', '.join(EXPERIMENTS.names())}"
         )
 
-    engine = Engine(executor_for(args.jobs), jsonl_path=args.jsonl)
+    def stream_line(payload) -> None:
+        print(json.dumps(payload, sort_keys=True, default=str), file=sys.stderr, flush=True)
+
+    engine = Engine(
+        executor_for(args.jobs, pool=args.pool),
+        jsonl_path=args.jsonl,
+        cache=args.cache,
+        progress=stream_line if args.stream else None,
+    )
 
     results = []
-    for name in selected:
-        runner = EXPERIMENTS.resolve(name)
-        started = time.perf_counter()
-        result = runner(quick=not args.full, seed=args.seed, engine=engine)
-        elapsed = time.perf_counter() - started
-        results.append((name, result, elapsed))
+    try:
+        for name in selected:
+            runner = EXPERIMENTS.resolve(name)
+            started = time.perf_counter()
+            result = runner(quick=not args.full, seed=args.seed, engine=engine)
+            elapsed = time.perf_counter() - started
+            results.append((name, result, elapsed))
+    finally:
+        engine.close()
 
     if args.format == "json":
         payload = [

@@ -31,12 +31,15 @@ The pieces:
   experiments;
 * :mod:`~repro.runtime.engine` — the :class:`Engine`, :class:`RunRecord`,
   and the module-level :func:`execute_spec` worker entry point;
-* :mod:`~repro.runtime.executors` — :class:`SerialExecutor` and the
-  process-pool :class:`ParallelExecutor`.
+* :mod:`~repro.runtime.executors` — :class:`SerialExecutor`, the persistent
+  warm :class:`WorkerPool`, and the per-call (cold) :class:`ParallelExecutor`;
+* :mod:`~repro.runtime.cache` — the digest-keyed :class:`RunCache` that
+  memoizes completed runs on ``(canonical-spec-hash, seed)``.
 """
 
 from ..analysis.runner import ParameterSweep
 from .builder import ScenarioBuilder, ScenarioValidationError, scenario, validate_spec
+from .cache import RunCache
 from .engine import (
     Engine,
     RunRecord,
@@ -44,8 +47,15 @@ from .engine import (
     distinct_proposals,
     execute_spec,
     run_once,
+    run_with_digest_capture,
 )
-from .executors import Executor, ParallelExecutor, SerialExecutor, executor_for
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerPool,
+    executor_for,
+)
 from .registry import (
     CHECKS,
     CONSENSUS,
@@ -69,6 +79,7 @@ from .spec import (
     NetworkSpec,
     ScenarioSpec,
     TimingSpec,
+    canonical_spec_hash,
     asymmetric,
     asynchronous,
     cascading,
@@ -103,15 +114,18 @@ __all__ = [
     "ParallelExecutor",
     "ParameterSweep",
     "Registry",
+    "RunCache",
     "RunRecord",
     "ScenarioBuilder",
     "ScenarioSpec",
     "ScenarioValidationError",
     "SerialExecutor",
     "TimingSpec",
+    "WorkerPool",
     "asymmetric",
     "asynchronous",
     "build_link_model",
+    "canonical_spec_hash",
     "cascading",
     "composed",
     "crashes_at",
@@ -136,6 +150,7 @@ __all__ = [
     "register_program",
     "reliable",
     "run_once",
+    "run_with_digest_capture",
     "scenario",
     "synchronous",
     "validate_spec",

@@ -1,0 +1,145 @@
+"""A digest-keyed on-disk cache of completed runs.
+
+Repeated and resumed sweeps are a fact of life at paper scale: the same quick
+configurations are re-run on every CLI invocation, a full sweep interrupted
+half-way is restarted from zero, and regenerating one table re-executes eight
+others.  :class:`RunCache` memoizes completed runs on content-derived keys so
+all of that recompute collapses into file reads:
+
+* declarative runs (``Engine.run`` / ``run_many`` / ``run_sweep``) key on
+  ``(canonical-spec-hash, seed)`` — see
+  :func:`~repro.runtime.spec.canonical_spec_hash`.  Editing *any* part of a
+  scenario changes its hash, so stale entries can never be served; a new seed
+  is simply a new key;
+* custom sweep functions (``Engine.sweep``) key on the function's qualified
+  name plus the canonical JSON of its config (which carries the seed).  The
+  function is assumed to be a pure function of its config — the same contract
+  parallel dispatch already requires.
+
+Entries are one JSON file each, written atomically (temp file +
+``os.replace``), so concurrent engines — including worker processes of two
+simultaneous sweeps — can share a cache directory.  A corrupt or unreadable
+entry is treated as a miss and rewritten.  Fidelity is guaranteed by
+construction: a payload is only stored if it survives a JSON round-trip
+unchanged, so a cache hit yields byte-identical rows and tables to a fresh
+run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+__all__ = ["RunCache"]
+
+_SCHEMA = "run-cache/1"
+
+
+def _function_key(fn: Callable[..., Any]) -> str:
+    module = getattr(fn, "__module__", "") or ""
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{qualname}"
+
+
+class RunCache:
+    """One directory of memoized run outcomes (see the module docstring)."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def coerce(cls, value: "RunCache | str | os.PathLike | None") -> "RunCache | None":
+        """``None`` → ``None``; a path → a cache rooted there; a cache → itself."""
+        if value is None or isinstance(value, RunCache):
+            return value
+        return cls(value)
+
+    # -- keys ----------------------------------------------------------
+    @staticmethod
+    def record_key(spec: Any) -> str:
+        """Key for a declarative run: ``(canonical-spec-hash, seed)``."""
+        return f"rec-{spec.canonical_hash()}-{int(spec.seed):08x}"
+
+    @staticmethod
+    def function_cacheable(fn: Callable[..., Any]) -> bool:
+        """Whether ``fn`` is identifiable by qualified name alone.
+
+        Lambdas and functions defined inside other functions share ambiguous
+        qualnames (``<lambda>``, ``…<locals>…``): two different such
+        functions would collide on the same key and silently serve each
+        other's cached outcomes, so they are never cached (module-level
+        functions — the only kind the pool executors accept anyway — are).
+        """
+        qualname = getattr(fn, "__qualname__", "")
+        return bool(qualname) and "<lambda>" not in qualname and "<locals>" not in qualname
+
+    @staticmethod
+    def outcome_key(fn: Callable[..., Any], config: Mapping[str, Any]) -> str:
+        """Key for a custom sweep function applied to one config."""
+        text = json.dumps(
+            {"fn": _function_key(fn), "config": dict(config)},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return f"row-{hashlib.sha256(text.encode('utf-8')).hexdigest()}"
+
+    # -- storage -------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` (counted as a miss)."""
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != _SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> bool:
+        """Store ``payload`` under ``key``; returns whether it was cached.
+
+        Payloads that do not survive a JSON round-trip unchanged (tuples,
+        exotic value types) are silently skipped rather than stored lossily —
+        a cache hit must reproduce a fresh run exactly, or not exist.
+        """
+        payload = dict(payload)
+        try:
+            text = json.dumps(
+                {"schema": _SCHEMA, "payload": payload}, sort_keys=True
+            )
+        except (TypeError, ValueError):
+            return False
+        if json.loads(text)["payload"] != payload:
+            return False
+        path = self._path(key)
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            os.replace(temp, path)
+        except OSError:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"RunCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

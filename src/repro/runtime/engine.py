@@ -2,10 +2,11 @@
 
 The :class:`Engine` is the single place where scenarios become runs.  It
 dispatches work through a pluggable executor
-(:class:`~repro.runtime.executors.SerialExecutor` by default, a
-process-pool-backed :class:`~repro.runtime.executors.ParallelExecutor` for
-multi-core sweeps) and returns structured :class:`RunRecord` objects, which it
-can also append to a JSONL log (written once each batch of work returns).
+(:class:`~repro.runtime.executors.SerialExecutor` by default; with
+``jobs=N`` a persistent :class:`~repro.runtime.executors.WorkerPool` whose
+worker processes are spawned once and reused across every call) and returns
+structured :class:`RunRecord` objects, which it can also append to a JSONL
+log.
 
 Three entry points cover every workload in the repository:
 
@@ -17,25 +18,48 @@ Three entry points cover every workload in the repository:
   function over a :class:`ParameterSweep` (what the experiment modules use
   when their metric extraction goes beyond the generic record).
 
+Sweep-scale machinery, all opt-in:
+
+* **streaming** — ``run_many`` / ``run_sweep`` / ``sweep`` accept
+  ``stream=True`` and then return a lazy iterator that yields each result as
+  its dispatch chunk completes, *in input order* (so a consumer can fold,
+  plot, or persist incrementally while later chunks still run, and the final
+  table is deterministic regardless).  JSONL emission always flushes
+  incrementally as results become available, streaming or not;
+* **run caching** — pass ``cache=`` a directory (or
+  :class:`~repro.runtime.cache.RunCache`) and completed runs are memoized on
+  ``(canonical-spec-hash, seed)``; repeated or resumed sweeps skip the
+  recompute and rehydrate the stored records, including their determinism
+  digests.  Custom ``sweep`` functions are keyed on function name + config;
+* **lifecycle** — the Engine owns its executor: ``Engine(jobs=4)`` keeps one
+  warm worker pool alive across calls until :meth:`Engine.close` (or the end
+  of a ``with Engine(...) as engine:`` block).
+
 Everything a worker process receives is plain data or a module-level
 function, so the same call works serially and in parallel and produces
-identical rows for identical seeds.
+identical rows for identical seeds.  Transport is *packed*: workers receive
+chunks of specs and return ``(metrics, digest)`` tuples; the parent — which
+already holds every spec — rehydrates full :class:`RunRecord` objects in
+input order, so the per-run config dict never crosses a process boundary
+twice.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..analysis.metrics import consensus_metrics
 from ..analysis.runner import ParameterSweep, merge_row
 from ..consensus import validate_consensus
 from ..membership import Membership
 from ..sim import CompositeProgram, CrashSchedule, Simulation, TimingModel, build_system
+from ..sim import scheduler as _scheduler_module
 from ..sim.failures import FailurePattern
 from ..sim.links import LinkModel
 from ..sim.system import ProgramFactory
+from .cache import RunCache
 from .executors import Executor, executor_for
 from .registry import CHECKS, CONSENSUS, DETECTORS, PROGRAMS
 from .spec import ScenarioSpec
@@ -45,6 +69,7 @@ __all__ = [
     "Engine",
     "execute_spec",
     "run_once",
+    "run_with_digest_capture",
     "distinct_proposals",
     "default_consensus_detectors",
 ]
@@ -194,9 +219,9 @@ def run_once(
 def execute_spec(spec: ScenarioSpec) -> RunRecord:
     """Materialise and execute one declarative scenario.
 
-    Module-level on purpose: the :class:`ParallelExecutor` pickles this
-    function by reference and the spec by value, so a sweep of specs fans out
-    over worker processes with no extra machinery.
+    Module-level on purpose: the pool executors pickle this function by
+    reference and the spec by value, so a sweep of specs fans out over worker
+    processes with no extra machinery.
     """
     membership = spec.membership.build()
     proposals = distinct_proposals(membership) if spec.consensus else None
@@ -235,85 +260,304 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
     )
 
 
+def _execute_spec_packed(spec: ScenarioSpec) -> tuple[dict, str]:
+    """Worker entry point with compact transport: ``(metrics, digest)``.
+
+    The parent already holds the spec, so echoing ``scenario``/``seed``/the
+    full config dict back over the pipe per run is pure pickle overhead —
+    only the measured outcome crosses the process boundary.  The parent
+    rehydrates the full :class:`RunRecord` (in input order).
+    """
+    record = execute_spec(spec)
+    return dict(record.metrics), record.digest
+
+
+def _rehydrate_record(spec: ScenarioSpec, packed: tuple[dict, str]) -> RunRecord:
+    metrics, digest = packed
+    return RunRecord(
+        scenario=spec.name,
+        seed=spec.seed,
+        config=spec.to_dict(),
+        metrics=metrics,
+        digest=digest,
+    )
+
+
+def run_with_digest_capture(task: "tuple[Callable[[Any], Any], Any]") -> tuple[Any, list[int]]:
+    """Apply ``fn`` to ``item``, also returning the digests of every
+    :class:`~repro.sim.Simulation` the call completed.
+
+    ``task`` is a ``(fn, item)`` pair so the whole thing is picklable and can
+    be dispatched through any executor; the digests come back *with the
+    result*, in execution order, which is what lets a digest manifest compare
+    serial, warm-pool, and cold-pool sweeps bit for bit (a parent-side
+    monkeypatch never reaches a ``spawn``-started worker).
+    """
+    fn, item = task
+    previous = _scheduler_module.DIGEST_SINK
+    _scheduler_module.DIGEST_SINK = sink = []
+    try:
+        result = fn(item)
+    finally:
+        _scheduler_module.DIGEST_SINK = previous
+    return result, sink
+
+
 class Engine:
-    """Executes scenarios and sweeps through a pluggable executor."""
+    """Executes scenarios and sweeps through a pluggable executor.
+
+    ``Engine(jobs=N)`` owns a persistent warm
+    :class:`~repro.runtime.executors.WorkerPool` (``pool="cold"`` selects the
+    per-call :class:`~repro.runtime.executors.ParallelExecutor` instead) and
+    is reusable across any number of ``run``/``run_many``/``run_sweep``
+    calls; close it explicitly or use it as a context manager.
+    ``chunk_multiplier`` tunes dispatch granularity (chunks per worker per
+    call, ≥ 1).  ``cache`` (a directory path or
+    :class:`~repro.runtime.cache.RunCache`) memoizes completed runs; see the
+    module docstring.  ``progress`` is called with every emitted payload
+    (record dict or row) as it completes, in order — the hook behind the
+    CLI's ``--stream``.
+    """
 
     def __init__(
         self,
         executor: Executor | None = None,
         *,
         jobs: int | None = None,
+        chunk_multiplier: int | None = None,
+        pool: str = "warm",
         jsonl_path: str | None = None,
+        cache: RunCache | str | None = None,
+        progress: Callable[[Mapping[str, Any]], None] | None = None,
     ) -> None:
-        if executor is not None and jobs is not None:
-            raise ValueError("pass either an executor or jobs, not both")
-        self.executor: Executor = executor or executor_for(jobs)
+        if executor is not None and (
+            jobs is not None or chunk_multiplier is not None or pool != "warm"
+        ):
+            raise ValueError("pass either an executor or jobs/chunk_multiplier/pool, not both")
+        self.executor: Executor = executor or executor_for(
+            jobs, chunk_multiplier=chunk_multiplier, pool=pool
+        )
         self.jsonl_path = jsonl_path
+        self.cache = RunCache.coerce(cache)
+        self.progress = progress
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release the executor's resources (idempotent).
+
+        For a warm :class:`WorkerPool` this shuts the worker processes down;
+        serial and cold executors hold nothing between calls.
+        """
+        closer = getattr(self.executor, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- declarative specs ---------------------------------------------
     def run(self, spec: ScenarioSpec) -> RunRecord:
-        """Execute one scenario and return its record."""
-        record = execute_spec(spec)
-        self._emit(record.to_dict())
+        """Execute one scenario (or rehydrate it from the cache)."""
+        (record,) = self._iter_records([spec])
         return record
 
-    def run_many(self, specs: Iterable[ScenarioSpec]) -> list[RunRecord]:
-        """Execute many scenarios (in parallel when the executor allows)."""
-        records = self.executor.map(execute_spec, list(specs))
-        for record in records:
-            self._emit(record.to_dict())
-        return records
+    def run_many(
+        self, specs: Iterable[ScenarioSpec], *, stream: bool = False
+    ) -> "list[RunRecord] | Iterator[RunRecord]":
+        """Execute many scenarios (in parallel when the executor allows).
+
+        With ``stream=True`` the result is a lazy iterator that yields each
+        record — in input order — as its dispatch chunk completes; otherwise
+        the full list is returned once every run has finished.  JSONL
+        emission happens incrementally in both modes.
+        """
+        iterator = self._iter_records(list(specs))
+        return iterator if stream else list(iterator)
 
     def run_sweep(
         self,
         make_spec: Callable[[dict], ScenarioSpec],
         sweep: ParameterSweep | Iterable[Mapping[str, Any]],
-    ) -> list[dict]:
+        *,
+        stream: bool = False,
+    ) -> "list[dict] | Iterator[dict]":
         """Turn every sweep config into a spec, execute all, return rows.
 
         Each returned row is the sweep config (minus the bookkeeping
         ``repetition`` field) merged with the record's metrics — the shape
-        :func:`repro.analysis.runner.aggregate_rows` consumes.
+        :func:`repro.analysis.runner.aggregate_rows` consumes.  With
+        ``stream=True`` rows are yielded in sweep order as chunks complete.
         """
         configs = [dict(config) for config in sweep]
         specs = [make_spec(dict(config)) for config in configs]
-        records = self.run_many(specs)
-        return [
+        iterator = (
             merge_row(config, record.metrics)
-            for config, record in zip(configs, records)
-        ]
+            for config, record in zip(configs, self._iter_records(specs))
+        )
+        return iterator if stream else list(iterator)
+
+    def _iter_records(self, specs: list[ScenarioSpec]) -> Iterator[RunRecord]:
+        """Yield one record per spec, in input order, as results arrive."""
+
+        def from_fresh(spec: ScenarioSpec, packed: tuple[dict, str]) -> RunRecord:
+            record = _rehydrate_record(spec, packed)
+            self._cache_put_record(spec, record)
+            return record
+
+        return self._iter_ordered(
+            specs,
+            _execute_spec_packed,
+            get_cached=self._cache_get_record,
+            from_fresh=from_fresh,
+            emit_of=RunRecord.to_dict,
+        )
 
     # -- custom per-config functions -----------------------------------
     def sweep(
         self,
         run_one: Callable[[dict], Mapping[str, Any]],
         sweep: ParameterSweep | Iterable[Mapping[str, Any]],
-    ) -> list[dict]:
+        *,
+        stream: bool = False,
+    ) -> "list[dict] | Iterator[dict]":
         """Dispatch ``run_one`` over every config of a sweep.
 
         ``run_one`` must be a module-level function (picklable) returning a
-        metrics mapping; rows come back in sweep order regardless of the
-        executor, so parallel runs reproduce serial ones exactly.
+        metrics mapping, and a pure function of its config; rows come back in
+        sweep order regardless of the executor, so parallel runs reproduce
+        serial ones exactly.  With ``stream=True`` rows are yielded lazily as
+        chunks complete.  When a cache is attached, outcomes are memoized on
+        the function's qualified name plus the canonical config (which
+        carries the seed); lambdas and nested functions are run but never
+        cached — their qualnames are ambiguous, so two different ones could
+        serve each other's entries.
         """
         configs = [dict(config) for config in sweep]
+        iterator = self._iter_rows(run_one, configs)
+        return iterator if stream else list(iterator)
+
+    def _iter_rows(
+        self, run_one: Callable[[dict], Mapping[str, Any]], configs: list[dict]
+    ) -> Iterator[dict]:
+        """Yield one merged row per config, in input order, as results arrive."""
+
+        def get_cached(config: dict) -> dict | None:
+            outcome = self._cache_get_outcome(run_one, config)
+            return None if outcome is None else merge_row(config, outcome)
+
+        def from_fresh(config: dict, outcome: Mapping[str, Any]) -> dict:
+            self._cache_put_outcome(run_one, config, outcome)
+            return merge_row(config, outcome)
+
         # Copies go to run_one so a mutating run_one cannot corrupt the rows
         # (which would also make serial and parallel runs diverge).
-        outcomes = self.executor.map(run_one, [dict(config) for config in configs])
-        rows = [merge_row(config, outcome) for config, outcome in zip(configs, outcomes)]
-        for row in rows:
-            self._emit(row)
-        return rows
+        return self._iter_ordered(
+            configs,
+            run_one,
+            to_task=dict,
+            get_cached=get_cached,
+            from_fresh=from_fresh,
+            emit_of=lambda row: row,
+        )
+
+    def _iter_ordered(
+        self,
+        items: list,
+        worker: Callable[[Any], Any],
+        *,
+        get_cached: Callable[[Any], Any],
+        from_fresh: Callable[[Any, Any], Any],
+        emit_of: Callable[[Any], Mapping[str, Any]],
+        to_task: Callable[[Any], Any] | None = None,
+    ) -> Iterator[Any]:
+        """The ordered streaming-with-cache core under records and rows.
+
+        Cache hits are resolved up front (``get_cached`` returns the final
+        value, or ``None`` for a miss); only the misses are dispatched, and
+        each raw result is turned into its final value by ``from_fresh``
+        (which also stores it).  Because the executors' ``imap`` yields in
+        input order, a value is emitted — ``self._emit(emit_of(value))`` —
+        and yielded the moment it is contiguous with everything already
+        yielded: streaming without sacrificing determinism of the output
+        order.  ``to_task`` maps an item to what is actually shipped to the
+        worker (e.g. a defensive copy).
+        """
+        values: list[Any] = [None] * len(items)
+        done = [False] * len(items)
+        pending: list[Any] = []
+        pending_indices: list[int] = []
+        for index, item in enumerate(items):
+            value = get_cached(item)
+            if value is not None:
+                values[index] = value
+                done[index] = True
+            else:
+                pending.append(item if to_task is None else to_task(item))
+                pending_indices.append(index)
+
+        cursor = 0
+
+        def drain() -> Iterator[Any]:
+            nonlocal cursor
+            while cursor < len(items) and done[cursor]:
+                value = values[cursor]
+                cursor += 1
+                self._emit(emit_of(value))
+                yield value
+
+        for offset, raw in enumerate(self._dispatch(worker, pending)):
+            index = pending_indices[offset]
+            values[index] = from_fresh(items[index], raw)
+            done[index] = True
+            yield from drain()
+        yield from drain()
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
         """Raw executor access: apply ``fn`` to every item, in order."""
         return self.executor.map(fn, list(items))
 
     # -- bookkeeping ---------------------------------------------------
+    def _dispatch(self, fn: Callable[[Any], Any], items: list) -> Iterator[Any]:
+        """Input-order result iterator, lazy when the executor supports it."""
+        if not items:
+            return iter(())
+        imap = getattr(self.executor, "imap", None)
+        if imap is not None:
+            return imap(fn, items)
+        return iter(self.executor.map(fn, items))
+
+    def _cache_get_record(self, spec: ScenarioSpec) -> RunRecord | None:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(RunCache.record_key(spec))
+        return None if payload is None else RunRecord.from_dict(payload)
+
+    def _cache_put_record(self, spec: ScenarioSpec, record: RunRecord) -> None:
+        if self.cache is not None:
+            self.cache.put(RunCache.record_key(spec), record.to_dict())
+
+    def _cache_get_outcome(
+        self, run_one: Callable, config: Mapping[str, Any]
+    ) -> Mapping[str, Any] | None:
+        if self.cache is None or not RunCache.function_cacheable(run_one):
+            return None
+        return self.cache.get(RunCache.outcome_key(run_one, config))
+
+    def _cache_put_outcome(
+        self, run_one: Callable, config: Mapping[str, Any], outcome: Mapping[str, Any]
+    ) -> None:
+        if self.cache is not None and RunCache.function_cacheable(run_one):
+            self.cache.put(RunCache.outcome_key(run_one, config), outcome)
+
     def _emit(self, payload: Mapping[str, Any]) -> None:
-        if not self.jsonl_path:
-            return
-        with open(self.jsonl_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+        if self.jsonl_path:
+            with open(self.jsonl_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+        if self.progress is not None:
+            self.progress(payload)
 
     def __repr__(self) -> str:
         return f"Engine(executor={self.executor!r})"

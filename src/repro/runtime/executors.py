@@ -1,28 +1,185 @@
 """Pluggable executors: how the Engine maps work over configurations.
 
-Executors only need one method — ``map(fn, items) -> list`` — returning the
-results *in input order*, which is what keeps serial and parallel runs
-row-for-row identical (every item carries its own seed; nothing depends on
-completion order).
+Three implementations cover the execution spectrum:
 
-``fn`` and the items must be picklable for :class:`ParallelExecutor`
-(module-level functions and plain-data configs/specs are; closures are not —
-keep per-run lambdas inside the worker function).
+* :class:`SerialExecutor` — everything in-process, one item after another;
+* :class:`ParallelExecutor` — the *cold* pool: a fresh
+  :class:`~concurrent.futures.ProcessPoolExecutor` is spawned and torn down
+  on every ``map`` call (the pre-warm-pool behaviour, kept as the
+  apples-to-apples baseline for ``benchmarks/bench_sweep_throughput.py``);
+* :class:`WorkerPool` — the *warm* pool: one persistent process pool that is
+  spawned lazily on first use, warms each worker exactly once (importing the
+  library so later tasks only unpickle their inputs), and is reused across
+  every subsequent ``map``/``imap`` call until :meth:`WorkerPool.close`.
+
+Executors need one method — ``map(fn, items) -> list`` — returning results
+*in input order*, which is what keeps serial and parallel runs row-for-row
+identical (every item carries its own seed; nothing depends on completion
+order).  All built-in executors additionally provide ``imap`` (a lazy,
+input-order iterator that yields results as dispatch chunks complete — the
+primitive behind ``Engine.run_sweep(..., stream=True)``) and an idempotent
+``close()``.
+
+Work is dispatched to pools in *chunks*: one task carries a list of items and
+returns the list of their results, so a thousand-run sweep costs tens of task
+round-trips instead of a thousand.  ``chunk_multiplier`` controls the
+trade-off — ``jobs × chunk_multiplier`` chunks per call — between transport
+overhead (fewer, larger chunks) and load balance / streaming granularity
+(more, smaller chunks).
+
+Both pool executors default to the ``spawn`` start method (see
+:data:`POOL_START_METHOD`): workers always execute the clean import path
+instead of inheriting an arbitrary fork of the parent heap (monkeypatched
+classes, mutated module globals, warmed RNGs), which keeps the determinism
+digest guarantee — identical digests serial vs. parallel — independent of
+parent-process state.  It is also the only start method with identical
+behaviour on Linux, macOS, and Windows, and the fork-from-a-threaded-parent
+path it replaces is deprecated since Python 3.12.  The price of spawning —
+a fresh interpreter importing the library in every worker — is exactly what
+:class:`WorkerPool` amortises to a one-time cost.
+
+``fn`` and the items must be picklable for the pool executors (module-level
+functions and plain-data configs/specs are; closures are not — keep per-run
+lambdas inside the worker function).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Protocol, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerCrashError
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "executor_for"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "WorkerPool",
+    "executor_for",
+    "describe_item",
+    "POOL_START_METHOD",
+]
+
+#: Start method used by both pool executors (see the module docstring for why
+#: ``spawn`` and not the platform default).  Override per executor with the
+#: ``start_method`` constructor argument when embedding in an application that
+#: has already made its own multiprocessing choices.
+POOL_START_METHOD = "spawn"
+
+#: Default number of dispatch chunks per worker per call.
+DEFAULT_CHUNK_MULTIPLIER = 4
+
+#: How many in-flight items a :class:`WorkerCrashError` names before truncating.
+_MAX_NAMED_CANDIDATES = 8
+
+
+def describe_item(item: Any) -> str:
+    """A short human identification of one work item for error messages.
+
+    Scenario specs (anything with ``name``/``seed`` attributes) and sweep
+    configs (mappings with ``name``/``seed`` keys) render as
+    ``name[seed=N]``; everything else falls back to a truncated ``repr``.
+    """
+    name = getattr(item, "name", None)
+    seed = getattr(item, "seed", None)
+    if name is None and seed is None and isinstance(item, dict):
+        name, seed = item.get("name"), item.get("seed")
+    if name is not None or seed is not None:
+        label = str(name) if name else "<unnamed>"
+        return f"{label}[seed={seed}]" if seed is not None else label
+    text = repr(item)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
+def _apply_chunk(fn: Callable[[Any], Any], chunk: list) -> list:
+    """Worker-side chunk body: one task applies ``fn`` to a list of items."""
+    return [fn(item) for item in chunk]
+
+
+def _warm_worker() -> None:
+    """One-time per-worker warmup: import the library (and its registries).
+
+    Runs as the pool initializer, so every worker pays the interpreter-startup
+    and import cost exactly once; afterwards a task only unpickles its inputs.
+    Importing :mod:`repro.experiments` pulls in the simulation stack and
+    registers every detector/consensus/experiment entry the specs resolve.
+    """
+    import repro.experiments  # noqa: F401
+
+
+def _chunk_spans(total: int, chunksize: int) -> list[tuple[int, int]]:
+    return [(start, min(start + chunksize, total)) for start in range(0, total, chunksize)]
+
+
+def _dispatch_chunks(
+    pool: ProcessPoolExecutor,
+    fn: Callable[[Any], Any],
+    work: Sequence[Any],
+    chunksize: int,
+) -> Iterator[Any]:
+    """Submit ``work`` in chunks and yield item results in input order.
+
+    Results stream out as soon as the next-in-order chunk completes, so a
+    consumer sees partial results while later chunks are still running; the
+    overall order is always the input order.  A :class:`BrokenProcessPool`
+    (a worker died — segfault, ``os._exit``, OOM-kill) is re-raised as
+    :class:`~repro.errors.WorkerCrashError` naming every item whose result
+    was lost, which necessarily includes the item that killed the worker.
+    ``submit`` itself can raise it too — a worker that died while the pool
+    sat idle breaks the pool before any future exists — so submission happens
+    inside the same handler, and the ``finally`` sees whatever was submitted.
+    """
+    spans = _chunk_spans(len(work), chunksize)
+    futures: list = []
+    consumed = 0
+    try:
+        try:
+            for start, end in spans:
+                futures.append(pool.submit(_apply_chunk, fn, list(work[start:end])))
+            for future in futures:
+                results = future.result()
+                consumed += 1
+                yield from results
+        except BrokenProcessPool as exc:
+            lost = []
+            for index, (start, end) in enumerate(spans):
+                if index < consumed:
+                    continue
+                peer = futures[index] if index < len(futures) else None
+                if (
+                    peer is None
+                    or peer.cancelled()
+                    or not peer.done()
+                    or peer.exception() is not None
+                ):
+                    lost.extend(work[start:end])
+            candidates = [describe_item(item) for item in lost]
+            named = ", ".join(candidates[:_MAX_NAMED_CANDIDATES])
+            if len(candidates) > _MAX_NAMED_CANDIDATES:
+                named += f", ... ({len(candidates) - _MAX_NAMED_CANDIDATES} more)"
+            raise WorkerCrashError(
+                f"a worker process died while executing {len(lost)} of "
+                f"{len(work)} item(s); the crashing scenario is one of: {named}",
+                candidates=candidates,
+            ) from exc
+    finally:
+        # Reached on early consumer exit (abandoned streaming iterator),
+        # KeyboardInterrupt, or a worker crash: drop whatever has not started.
+        for future in futures:
+            future.cancel()
 
 
 class Executor(Protocol):
-    """The executor interface the Engine dispatches through."""
+    """The executor interface the Engine dispatches through.
+
+    ``map`` is the only required method.  The built-in executors also provide
+    ``imap`` (lazy input-order iteration, used for streaming when present)
+    and ``close()``; the Engine degrades gracefully when a custom executor
+    offers neither.
+    """
 
     jobs: int
 
@@ -39,39 +196,208 @@ class SerialExecutor:
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
         return [fn(item) for item in items]
 
+    def imap(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> Iterator[Any]:
+        """Lazy serial iteration: each result is computed as it is consumed."""
+        for item in items:
+            yield fn(item)
+
+    def close(self) -> None:
+        """Nothing to release; present so every executor is closable."""
+
     def __repr__(self) -> str:
         return "SerialExecutor()"
 
 
-class ParallelExecutor:
-    """Fan items out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+def _validated(jobs: int | None, chunk_multiplier: int) -> tuple[int, int]:
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be at least 1, got {jobs}")
+    if chunk_multiplier < 1:
+        raise ConfigurationError(
+            f"chunk_multiplier must be at least 1, got {chunk_multiplier}"
+        )
+    return jobs or (os.cpu_count() or 1), chunk_multiplier
 
-    Results still come back in input order (``pool.map`` preserves it), so a
-    parallel sweep produces byte-identical rows to a serial one for the same
-    seeds.  Work smaller than two items short-circuits to the serial path —
-    no pool is spawned just to run one simulation.
+
+class ParallelExecutor:
+    """The *cold* pool: a fresh process pool per ``map``/``imap`` call.
+
+    Every call spawns a :class:`~concurrent.futures.ProcessPoolExecutor`,
+    fans the items out in chunks, and tears the pool down again — paying
+    worker startup (interpreter + library import under ``spawn``) on every
+    call.  :class:`WorkerPool` amortises exactly that cost; this executor is
+    kept as the per-call baseline the throughput benchmarks compare against,
+    and for one-shot workloads where keeping processes alive is undesirable.
+
+    Results come back in input order, so a parallel sweep produces
+    byte-identical rows to a serial one for the same seeds.  Work smaller
+    than two items short-circuits to the serial path — no pool is spawned
+    just to run one simulation.
     """
 
-    def __init__(self, jobs: int | None = None, *, chunk_multiplier: int = 4) -> None:
-        if jobs is not None and jobs < 1:
-            raise ConfigurationError(f"jobs must be at least 1, got {jobs}")
-        self.jobs = jobs or (os.cpu_count() or 1)
-        self._chunk_multiplier = max(1, chunk_multiplier)
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunk_multiplier: int = DEFAULT_CHUNK_MULTIPLIER,
+        start_method: str | None = None,
+    ) -> None:
+        self.jobs, self._chunk_multiplier = _validated(jobs, chunk_multiplier)
+        self._start_method = start_method or POOL_START_METHOD
+
+    def _chunksize(self, total: int) -> int:
+        return max(1, total // (self.jobs * self._chunk_multiplier))
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        return list(self.imap(fn, items))
+
+    def imap(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> Iterator[Any]:
+        """Yield results in input order from a pool that lives for this call."""
         work: Sequence[Any] = list(items)
         if len(work) < 2 or self.jobs == 1:
-            return [fn(item) for item in work]
-        chunksize = max(1, len(work) // (self.jobs * self._chunk_multiplier))
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(work))) as pool:
-            return list(pool.map(fn, work, chunksize=chunksize))
+            for item in work:
+                yield fn(item)
+            return
+        context = multiprocessing.get_context(self._start_method)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(work)), mp_context=context
+        ) as pool:
+            yield from _dispatch_chunks(pool, fn, work, self._chunksize(len(work)))
+
+    def close(self) -> None:
+        """Nothing persistent to release (each call owns its own pool)."""
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"
 
 
-def executor_for(jobs: int | None) -> Executor:
-    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a process pool."""
+class WorkerPool:
+    """The *warm* pool: one persistent process pool across every call.
+
+    The pool is spawned lazily on the first call that actually needs it, each
+    worker runs :func:`_warm_worker` exactly once (interpreter startup plus
+    the library import happen per worker lifetime, not per call), and the
+    same workers then serve every subsequent ``map``/``imap`` until
+    :meth:`close`.  An :class:`~repro.runtime.engine.Engine` built with
+    ``jobs=N`` owns one of these, so successive ``run`` / ``run_many`` /
+    ``run_sweep`` calls — a whole experiment session — share the warm pool.
+
+    Lifecycle: use as a context manager or call :meth:`close` (idempotent);
+    a call after ``close`` lazily spawns a fresh pool.  If a worker dies the
+    resulting :class:`~repro.errors.WorkerCrashError` names the in-flight
+    scenarios and the broken pool is discarded, so the next call starts from
+    a clean (re-spawned) pool instead of failing forever.
+
+    Dispatch is chunked exactly like :class:`ParallelExecutor` — one task
+    carries a list of items — and results always come back in input order.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunk_multiplier: int = DEFAULT_CHUNK_MULTIPLIER,
+        start_method: str | None = None,
+        warmup: Callable[[], None] | None = _warm_worker,
+    ) -> None:
+        self.jobs, self._chunk_multiplier = _validated(jobs, chunk_multiplier)
+        self._start_method = start_method or POOL_START_METHOD
+        self._warmup = warmup
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the pool processes are currently spawned."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context(self._start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=self._warmup,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; a later call re-spawns lazily)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Engines are often created without an explicit with-block; make sure
+        # an abandoned pool's workers do not outlive the owning object.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch ------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        return list(self.imap(fn, items))
+
+    def imap(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> Iterator[Any]:
+        """Yield results in input order as dispatch chunks complete."""
+        work: Sequence[Any] = list(items)
+        if len(work) < 2 or self.jobs == 1:
+            # Too little work to be worth shipping out — but if the pool is
+            # already warm it is cheaper than computing in the (busy) parent.
+            if self._pool is None:
+                for item in work:
+                    yield fn(item)
+                return
+        pool = self._ensure_pool()
+        try:
+            yield from _dispatch_chunks(pool, fn, work, self._chunksize(len(work)))
+        except WorkerCrashError:
+            # The pool is broken beyond this call; discard it so the next
+            # call re-spawns instead of re-raising BrokenProcessPool forever.
+            broken, self._pool = self._pool, None
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    def _chunksize(self, total: int) -> int:
+        return max(1, total // (self.jobs * self._chunk_multiplier))
+
+    def __repr__(self) -> str:
+        state = "warm" if self.alive else "idle"
+        return f"WorkerPool(jobs={self.jobs}, {state})"
+
+
+def executor_for(
+    jobs: int | None,
+    *,
+    chunk_multiplier: int | None = None,
+    pool: str = "warm",
+) -> Executor:
+    """Pick an executor: ``jobs`` ≤ 1 (or ``None``) → serial; else a pool.
+
+    ``pool`` selects the pool flavour for ``jobs`` > 1: ``"warm"`` (default)
+    is the persistent :class:`WorkerPool`, ``"cold"`` the per-call
+    :class:`ParallelExecutor`.  ``chunk_multiplier`` (≥ 1) tunes how many
+    dispatch chunks each worker gets per call; it is validated here so a bad
+    value fails at construction, not mid-sweep.
+    """
+    if pool not in ("warm", "cold"):
+        raise ConfigurationError(f"unknown pool mode {pool!r}; expected 'warm' or 'cold'")
+    if chunk_multiplier is not None and chunk_multiplier < 1:
+        raise ConfigurationError(
+            f"chunk_multiplier must be at least 1, got {chunk_multiplier}"
+        )
     if jobs is None or jobs <= 1:
         return SerialExecutor()
-    return ParallelExecutor(jobs)
+    kwargs: dict[str, Any] = {}
+    if chunk_multiplier is not None:
+        kwargs["chunk_multiplier"] = chunk_multiplier
+    if pool == "cold":
+        return ParallelExecutor(jobs, **kwargs)
+    return WorkerPool(jobs, **kwargs)

@@ -16,6 +16,7 @@ combination against the paper's requirement table.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
@@ -45,6 +46,7 @@ from ..workloads.crashes import (
 from ..workloads.homonymy import membership_with_distinct_ids
 
 __all__ = [
+    "canonical_spec_hash",
     "MembershipSpec",
     "TimingSpec",
     "CrashSpec",
@@ -73,6 +75,26 @@ __all__ = [
 def _clean(params: Mapping[str, Any] | None) -> dict[str, Any]:
     """Copy a parameter mapping, dropping ``None`` values (the defaults)."""
     return {key: value for key, value in (params or {}).items() if value is not None}
+
+
+def canonical_spec_hash(
+    spec: "ScenarioSpec | Mapping[str, Any]", *, include_seed: bool = False
+) -> str:
+    """A stable content hash of a scenario, for digest-keyed run caching.
+
+    The hash is SHA-256 over the spec's canonical JSON form (sorted keys), so
+    two specs that serialize identically — however they were built — hash
+    identically, and *any* edit to the scenario (membership, timing, crashes,
+    network, detectors, workload, checks, horizon) changes the hash and
+    invalidates cached runs.  The ``seed`` is excluded by default because the
+    run cache keys on ``(spec hash, seed)`` — one hash addresses a whole
+    repetition family; pass ``include_seed=True`` for a fully-closed key.
+    """
+    payload = dict(spec.to_dict() if isinstance(spec, ScenarioSpec) else spec)
+    if not include_seed:
+        payload.pop("seed", None)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -502,6 +524,10 @@ class ScenarioSpec:
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """A copy of this spec with a different seed (for sweeps)."""
         return ScenarioSpec.from_dict({**self.to_dict(), "seed": seed})
+
+    def canonical_hash(self, *, include_seed: bool = False) -> str:
+        """This spec's content hash (see :func:`canonical_spec_hash`)."""
+        return canonical_spec_hash(self, include_seed=include_seed)
 
     def to_dict(self) -> dict:
         return {

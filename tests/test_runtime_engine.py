@@ -15,6 +15,7 @@ from repro.runtime import (
     RunRecord,
     ScenarioSpec,
     SerialExecutor,
+    WorkerPool,
     cascading,
     execute_spec,
     executor_for,
@@ -46,7 +47,9 @@ class TestExecutors:
     def test_executor_for_picks_the_right_kind(self):
         assert isinstance(executor_for(None), SerialExecutor)
         assert isinstance(executor_for(1), SerialExecutor)
-        assert isinstance(executor_for(2), ParallelExecutor)
+        assert isinstance(executor_for(2), WorkerPool)
+        assert isinstance(executor_for(2, pool="cold"), ParallelExecutor)
+        assert isinstance(executor_for(1, pool="cold"), SerialExecutor)
 
     def test_parallel_executor_rejects_nonpositive_jobs(self):
         with pytest.raises(Exception):
