@@ -1,0 +1,54 @@
+"""KV service throughput: the quick E10 sweep, serial and warm-pool.
+
+The tracked quantity is **runs per second** for the whole quick E10
+experiment (12 KV service simulations: clients × key skew × fault model,
+each with consensus-driven replication, simulated client populations, and
+the per-run linearizability verdict folded into the metrics) under:
+
+* ``kv_e10_serial`` — in-process, the reference compute floor;
+* ``kv_e10_warm_pool_jobs2`` — the persistent :class:`WorkerPool`, warmed
+  outside the timed rounds as in real use.
+
+Unlike the pure-consensus sweeps, each E10 run carries the full workload
+stack — replication slots, client think-time loops, anti-entropy sync, and
+the Wing & Gong checker — so this row guards the end-to-end cost of the KV
+subsystem, not just the simulator core.  Both modes produce bit-identical
+determinism digests (``benchmarks/digest_manifest.py`` covers E10 under the
+``FULL`` fold).
+
+Results land in ``BENCH_core.json`` (schema ``bench-core/2``) via the suite
+conftest; ``runs_per_round`` turns each median into ``runs_per_second``.
+"""
+
+from repro.experiments.e10_kv_service import run as run_e10
+from repro.runtime import Engine
+
+#: The quick E10 experiment executes 2 clients × 2 skews × 3 faults = 12 runs.
+E10_QUICK_RUNS = 12
+
+
+def _run_quick_e10(engine=None):
+    result = run_e10(quick=True, seed=0, engine=engine)
+    assert result.summary["all_linearizable"]
+    return result
+
+
+def _tag(benchmark, key):
+    benchmark.extra_info["runs_per_round"] = E10_QUICK_RUNS
+    benchmark.extra_info["bench_core_key"] = key
+
+
+def test_kv_e10_serial(benchmark):
+    """The compute floor: the whole quick E10 sweep in-process."""
+    benchmark.pedantic(_run_quick_e10, rounds=9, iterations=1, warmup_rounds=1)
+    _tag(benchmark, "kv_e10_serial")
+
+
+def test_kv_e10_warm_pool_jobs2(benchmark):
+    """Persistent pool, 2 workers: the parallel-dispatch configuration."""
+    with Engine(jobs=2) as engine:
+        _run_quick_e10(engine)  # spawn + warm the pool outside the timed rounds
+        benchmark.pedantic(
+            lambda: _run_quick_e10(engine), rounds=9, iterations=1, warmup_rounds=1
+        )
+    _tag(benchmark, "kv_e10_warm_pool_jobs2")

@@ -1,8 +1,10 @@
-"""Determinism-digest manifest over the quick E1–E9 sweeps.
+"""Determinism-digest manifest over the quick E1–E10 sweeps.
 
 Runs every experiment in quick mode while capturing the determinism digest of
 each underlying simulation, then prints one folded 64-bit digest per
-experiment plus a manifest digest over all of them.
+experiment plus two manifest digests: ``ALL`` folds the historical E1–E9
+core (frozen so manifests saved before the KV workload landed keep
+matching), and ``FULL`` folds every registered experiment including E10.
 
 Two builds of the simulator that print the same manifest dispatched exactly
 the same events, in the same order, for every run of every quick experiment —
@@ -37,7 +39,7 @@ import sys
 import repro.sim.scheduler as scheduler_module
 from repro.runtime import Engine, executor_for, run_with_digest_capture
 from repro.runtime.registry import EXPERIMENTS
-from repro.experiments import ALL_EXPERIMENTS  # noqa: F401  (registers E1-E9)
+from repro.experiments import ALL_EXPERIMENTS  # noqa: F401  (registers E1-E10)
 
 _DIGEST_MASK = 0xFFFFFFFFFFFFFFFF
 _FNV_PRIME = 1099511628211
@@ -124,13 +126,26 @@ def _collect_pooled(seed: int, jobs: int, pool: str) -> dict[str, str]:
     return manifest
 
 
+#: The experiments folded into the historical ``ALL`` digest.  Frozen at
+#: E1–E9: manifests saved before the KV workload landed must keep matching,
+#: so newer experiments fold into ``FULL`` instead of moving ``ALL``.
+_CORE_EXPERIMENTS = tuple(f"E{i}" for i in range(1, 10))
+
+
+def _fold_named(manifest: dict[str, str], names) -> str:
+    return f"{_fold([int(manifest[name], 16) for name in sorted(names)]):016x}"
+
+
 def collect_manifest(seed: int = 0, *, jobs: int | None = None, pool: str = "warm") -> dict[str, str]:
     """Run every experiment quick and return ``{experiment: folded digest}``."""
     if jobs is not None and jobs > 1:
         manifest = _collect_pooled(seed, jobs, pool)
     else:
         manifest = _collect_serial(seed)
-    manifest["ALL"] = f"{_fold([int(v, 16) for k, v in sorted(manifest.items())]):016x}"
+    experiment_names = list(manifest)
+    core = [name for name in experiment_names if name in _CORE_EXPERIMENTS]
+    manifest["ALL"] = _fold_named(manifest, core)
+    manifest["FULL"] = _fold_named(manifest, experiment_names)
     return manifest
 
 

@@ -17,7 +17,7 @@ Run with:  python examples/replicated_log.py
 
 from __future__ import annotations
 
-from repro.consensus import HOmegaMajorityConsensus
+from repro.consensus import homega_majority_factory
 from repro.membership import grouped_identities
 from repro.workloads import minority_crashes, no_crashes
 from repro.workloads.scenarios import ConsensusScenario
@@ -31,9 +31,8 @@ def agree_on_slot(membership, slot, client_commands, crash_schedule, seed):
     }
     scenario = ConsensusScenario(
         membership=membership,
-        consensus_factory=lambda proposal: HOmegaMajorityConsensus(
-            proposal, n=membership.size
-        ),
+        # A named factory (not a lambda): picklable, and RunCache-eligible.
+        consensus_factory=homega_majority_factory(n=membership.size),
         proposals=proposals,
         crash_schedule=crash_schedule,
         detector_stabilization=10.0,

@@ -28,6 +28,15 @@ from .anonymous_aomega import AnonymousAOmegaConsensus
 from .anonymous_aomega_asigma import AnonymousAOmegaASigmaConsensus
 from .base import ConsensusKeys, ConsensusProgram
 from .classical_omega import ClassicalOmegaConsensus
+from .factories import (
+    ConsensusFactory,
+    anonymous_aomega_factory,
+    aomega_asigma_factory,
+    classical_omega_factory,
+    homega_hsigma_factory,
+    homega_majority_factory,
+    no_coordination_factory,
+)
 from .homega_hsigma import HOmegaHSigmaConsensus
 from .homega_majority import HOmegaMajorityConsensus
 from .no_coordination import NoCoordinationConsensus
@@ -37,11 +46,18 @@ __all__ = [
     "AnonymousAOmegaASigmaConsensus",
     "AnonymousAOmegaConsensus",
     "ClassicalOmegaConsensus",
+    "ConsensusFactory",
     "ConsensusKeys",
     "ConsensusProgram",
     "ConsensusVerdict",
     "HOmegaHSigmaConsensus",
     "HOmegaMajorityConsensus",
     "NoCoordinationConsensus",
+    "anonymous_aomega_factory",
+    "aomega_asigma_factory",
+    "classical_omega_factory",
+    "homega_hsigma_factory",
+    "homega_majority_factory",
+    "no_coordination_factory",
     "validate_consensus",
 ]

@@ -16,6 +16,7 @@ from . import (
     e7_coordination_ablation,
     e8_stacked_consensus,
     e9_fault_envelope,
+    e10_kv_service,
 )
 from .e1_ohp_convergence import run as run_e1
 from .e2_hsigma_sync import run as run_e2
@@ -26,6 +27,7 @@ from .e6_homonymy_spectrum import run as run_e6
 from .e7_coordination_ablation import run as run_e7
 from .e8_stacked_consensus import run as run_e8
 from .e9_fault_envelope import run as run_e9
+from .e10_kv_service import run as run_e10
 
 from ..runtime.registry import EXPERIMENTS, register_experiment
 
@@ -39,6 +41,7 @@ ALL_EXPERIMENTS = {
     "E7": run_e7,
     "E8": run_e8,
     "E9": run_e9,
+    "E10": run_e10,
 }
 
 for _name, _runner in ALL_EXPERIMENTS.items():
@@ -56,4 +59,5 @@ __all__ = [
     "run_e7",
     "run_e8",
     "run_e9",
+    "run_e10",
 ]

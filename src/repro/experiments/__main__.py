@@ -2,7 +2,7 @@
 
 Examples::
 
-    python -m repro.experiments                     # run E1–E9 in quick mode
+    python -m repro.experiments                     # run E1–E10 in quick mode
     python -m repro.experiments --full E4 E5        # full sweeps of E4 and E5
     python -m repro.experiments --jobs 4            # one warm worker pool,
                                                     # reused across experiments
@@ -31,7 +31,7 @@ def main(argv: list[str] | None = None) -> int:
     """Run the selected experiments and print (or write) their tables."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the experiments of EXPERIMENTS.md (E1-E9).",
+        description="Regenerate the experiments of EXPERIMENTS.md (E1-E10).",
     )
     parser.add_argument(
         "experiments",

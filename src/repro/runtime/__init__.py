@@ -75,6 +75,7 @@ from .registry import (
 from .spec import (
     CrashSpec,
     DetectorSpec,
+    KVSpec,
     MembershipSpec,
     NetworkSpec,
     ScenarioSpec,
@@ -107,6 +108,7 @@ __all__ = [
     "EXPERIMENTS",
     "Engine",
     "Executor",
+    "KVSpec",
     "LINKS",
     "MembershipSpec",
     "NetworkSpec",

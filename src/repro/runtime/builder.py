@@ -46,6 +46,7 @@ from .registry import CHECKS, CONSENSUS, LEADER_DETECTORS, PROGRAMS
 from .spec import (
     CrashSpec,
     DetectorSpec,
+    KVSpec,
     MembershipSpec,
     NetworkSpec,
     ScenarioSpec,
@@ -80,6 +81,7 @@ class ScenarioBuilder:
         self._consensus_params: dict[str, Any] = {}
         self._program: str | None = None
         self._program_params: dict[str, Any] = {}
+        self._kv: KVSpec | None = None
         self._checks: list[str] = []
         self._horizon: float = 500.0
         self._seed: int = 0
@@ -197,6 +199,21 @@ class ScenarioBuilder:
         self._program_params = params
         return self
 
+    def kv(self, spec: KVSpec | None = None, **options: Any) -> "ScenarioBuilder":
+        """Run the replicated KV service workload on this system.
+
+        The scenario's membership describes the *replica group*; the KV runner
+        adds the client processes.  Pass a pre-built :class:`KVSpec` or its
+        keyword options (``clients``, ``ops_per_client``, ``consensus``,
+        ``skew``, ``read_mode``, …).
+        """
+        if spec is not None and options:
+            raise ScenarioValidationError(
+                "pass either a pre-built KVSpec or keyword options, not both"
+            )
+        self._kv = spec if spec is not None else KVSpec(**options)
+        return self
+
     def check(self, *names: str) -> "ScenarioBuilder":
         """Evaluate detector property checkers over the finished trace."""
         self._checks.extend(names)
@@ -251,6 +268,7 @@ class ScenarioBuilder:
             program=self._program,
             program_params=dict(self._program_params),
             checks=tuple(self._checks),
+            kv=self._kv,
             horizon=self._horizon,
             seed=self._seed,
             name=self._name,
@@ -309,10 +327,11 @@ def _network_envelope_violation(spec: ScenarioSpec) -> str | None:
 
 def validate_spec(spec: ScenarioSpec) -> None:
     """Check a spec against the paper's requirement table (raises on error)."""
-    if spec.consensus is None and spec.program is None:
+    if spec.consensus is None and spec.program is None and spec.kv is None:
         raise ScenarioValidationError(
             "a scenario needs a workload: pick a consensus algorithm, a "
-            "detector-implementation program, or both (stacked)"
+            "detector-implementation program, a KV service (.kv()), or a "
+            "stacked combination"
         )
 
     violation = _network_envelope_violation(spec)
@@ -343,6 +362,16 @@ def validate_spec(spec: ScenarioSpec) -> None:
 
     for check in spec.checks:
         CHECKS.resolve(check)
+
+    if spec.kv is not None:
+        if spec.consensus is not None or spec.program is not None:
+            raise ScenarioValidationError(
+                "the KV workload owns the whole system: drop .consensus()/"
+                ".program() and name the replication algorithm in the kv "
+                "section (kv(consensus=...)) instead"
+            )
+        _validate_kv(spec, membership, n, worst_faulty, provided)
+        return
 
     if spec.consensus is None:
         return
@@ -377,4 +406,44 @@ def validate_spec(spec: ScenarioSpec) -> None:
         raise ScenarioValidationError(
             f"consensus {spec.consensus!r} is only defined for anonymous "
             "systems; the membership has distinct identifiers"
+        )
+
+
+def _validate_kv(spec: ScenarioSpec, membership, n: int, worst_faulty: int, provided) -> None:
+    """The KV section's slice of the requirement table.
+
+    The scenario's membership and crash schedule describe the *replica
+    group* — the KV runner adds client processes on top — so the majority
+    and homonymy constraints of the chosen replication algorithm are judged
+    against the replicas, exactly as for a bare consensus scenario.
+    """
+    if spec.timing.kind == "synchronous":
+        raise ScenarioValidationError(
+            "the KV service replicates through asynchronous-family consensus "
+            "algorithms; a synchronous (HSS) timing model cannot drive it"
+        )
+    entry = CONSENSUS.resolve(spec.kv.consensus)
+    missing = [name for name in entry.requires_detectors if name not in provided]
+    if missing:
+        raise ScenarioValidationError(
+            f"KV replication via {spec.kv.consensus!r} ({entry.paper_item}) "
+            f"queries {', '.join(entry.requires_detectors)} but "
+            f"{', '.join(missing)} is not attached"
+        )
+    if entry.needs_majority and 2 * worst_faulty >= n:
+        raise ScenarioValidationError(
+            f"KV replication via {spec.kv.consensus!r} ({entry.paper_item}) "
+            f"assumes a majority of correct replicas (t < n/2), but the crash "
+            f"schedule can kill {worst_faulty} of {n} replicas; use an "
+            "HΣ-based algorithm (e.g. 'homega_hsigma') for any-failures runs"
+        )
+    if entry.membership_constraint == "unique" and not membership.is_uniquely_identified:
+        raise ScenarioValidationError(
+            f"KV replication via {spec.kv.consensus!r} is only defined for "
+            "unique identifiers; the replica membership has homonyms"
+        )
+    if entry.membership_constraint == "anonymous" and not membership.is_anonymous:
+        raise ScenarioValidationError(
+            f"KV replication via {spec.kv.consensus!r} is only defined for "
+            "anonymous systems; the replica membership has distinct identifiers"
         )

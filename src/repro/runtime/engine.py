@@ -223,6 +223,13 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
     reference and the spec by value, so a sweep of specs fans out over worker
     processes with no extra machinery.
     """
+    if spec.kv is not None:
+        # The KV service workload has its own materialisation (replica group
+        # + client processes); imported lazily to keep the import graph
+        # acyclic (the KV runner imports RunRecord from this module).
+        from ..workloads.kv.runner import execute_kv_spec
+
+        return execute_kv_spec(spec)
     membership = spec.membership.build()
     proposals = distinct_proposals(membership) if spec.consensus else None
 

@@ -373,6 +373,15 @@ register_program(
 # ----------------------------------------------------------------------
 # Built-in property checkers
 # ----------------------------------------------------------------------
+def _check_kv_linearizable(trace, pattern):
+    """Certify a KV run's client history (lazy import: kv → runtime → here)."""
+    from ..workloads.kv.linearizability import check_kv_linearizable
+
+    return check_kv_linearizable(trace, pattern)
+
+
+register_check("kv_linearizable", _check_kv_linearizable)
+
 for _name, _checker in (
     ("diamond_p", check_diamond_p),
     ("omega", check_omega_election),

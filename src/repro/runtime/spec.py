@@ -51,6 +51,7 @@ __all__ = [
     "TimingSpec",
     "CrashSpec",
     "DetectorSpec",
+    "KVSpec",
     "NetworkSpec",
     "ScenarioSpec",
     "asynchronous",
@@ -482,6 +483,93 @@ class DetectorSpec:
 
 
 # ----------------------------------------------------------------------
+# The replicated KV service workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KVSpec:
+    """The replicated KV service workload, as data.
+
+    The scenario's *membership* describes the replica group (homonymy and all);
+    ``clients`` extra uniquely-named client processes are added by the KV
+    runner.  ``consensus`` names the registry algorithm driving each log slot.
+    ``loop`` selects closed- (``think_time``) or open-loop (``rate``) traffic,
+    ``skew`` the key popularity (``uniform`` or ``zipf`` with exponent
+    ``zipf_s``), and ``read_mode`` whether GETs are serialized through the log
+    (linearizable) or answered from the local store (fast, possibly stale).
+    """
+
+    clients: int = 4
+    ops_per_client: int = 6
+    consensus: str = "homega_majority"
+    consensus_params: Mapping[str, Any] = field(default_factory=dict)
+    loop: str = "closed"
+    think_time: float = 2.0
+    rate: float = 0.5
+    key_space: int = 8
+    skew: str = "uniform"
+    zipf_s: float = 1.2
+    read_mode: str = "log"
+    mix: Mapping[str, float] | None = None
+    sync_period: float = 10.0
+    max_slots: int = 4096
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "consensus_params", dict(self.consensus_params))
+        if self.mix is not None:
+            object.__setattr__(self, "mix", dict(self.mix))
+        if self.clients < 1:
+            raise ConfigurationError("a KV workload needs at least one client")
+        if self.ops_per_client < 0:
+            raise ConfigurationError("ops_per_client must be non-negative")
+        if self.loop not in ("closed", "open"):
+            raise ConfigurationError(f"kv loop must be 'closed' or 'open', got {self.loop!r}")
+        if self.skew not in ("uniform", "zipf"):
+            raise ConfigurationError(f"kv skew must be 'uniform' or 'zipf', got {self.skew!r}")
+        if self.read_mode not in ("log", "local"):
+            raise ConfigurationError(
+                f"kv read_mode must be 'log' or 'local', got {self.read_mode!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "ops_per_client": self.ops_per_client,
+            "consensus": self.consensus,
+            "consensus_params": dict(self.consensus_params),
+            "loop": self.loop,
+            "think_time": self.think_time,
+            "rate": self.rate,
+            "key_space": self.key_space,
+            "skew": self.skew,
+            "zipf_s": self.zipf_s,
+            "read_mode": self.read_mode,
+            "mix": dict(self.mix) if self.mix is not None else None,
+            "sync_period": self.sync_period,
+            "max_slots": self.max_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "KVSpec":
+        defaults = cls()
+        return cls(
+            clients=payload.get("clients", defaults.clients),
+            ops_per_client=payload.get("ops_per_client", defaults.ops_per_client),
+            consensus=payload.get("consensus", defaults.consensus),
+            consensus_params=dict(payload.get("consensus_params", {})),
+            loop=payload.get("loop", defaults.loop),
+            think_time=payload.get("think_time", defaults.think_time),
+            rate=payload.get("rate", defaults.rate),
+            key_space=payload.get("key_space", defaults.key_space),
+            skew=payload.get("skew", defaults.skew),
+            zipf_s=payload.get("zipf_s", defaults.zipf_s),
+            read_mode=payload.get("read_mode", defaults.read_mode),
+            mix=payload.get("mix"),
+            sync_period=payload.get("sync_period", defaults.sync_period),
+            max_slots=payload.get("max_slots", defaults.max_slots),
+        )
+
+
+# ----------------------------------------------------------------------
 # The full scenario
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -511,6 +599,7 @@ class ScenarioSpec:
     program: str | None = None
     program_params: Mapping[str, Any] = field(default_factory=dict)
     checks: tuple[str, ...] = ()
+    kv: KVSpec | None = None
     horizon: float = 500.0
     seed: int = 0
     name: str = ""
@@ -530,7 +619,7 @@ class ScenarioSpec:
         return canonical_spec_hash(self, include_seed=include_seed)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "membership": self.membership.to_dict(),
             "timing": self.timing.to_dict(),
             "crashes": self.crashes.to_dict(),
@@ -546,6 +635,11 @@ class ScenarioSpec:
             "seed": self.seed,
             "name": self.name,
         }
+        # Specs without a KV section serialize exactly as before this section
+        # existed, so canonical hashes (and hence cache keys) are preserved.
+        if self.kv is not None:
+            payload["kv"] = self.kv.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
@@ -563,6 +657,7 @@ class ScenarioSpec:
             program=payload.get("program"),
             program_params=dict(payload.get("program_params", {})),
             checks=tuple(payload.get("checks", ())),
+            kv=KVSpec.from_dict(payload["kv"]) if payload.get("kv") else None,
             horizon=payload.get("horizon", 500.0),
             seed=payload.get("seed", 0),
             name=payload.get("name", ""),

@@ -1,0 +1,227 @@
+"""An offline linearizability checker for KV run traces.
+
+The checker is a Wing & Gong-style search: for each key independently (the
+store has no cross-key operations, so the history is linearizable iff every
+per-key sub-history is), try to build a legal sequential order of the
+operations that respects real-time precedence — an operation whose response
+preceded another's invocation must be linearized first.
+
+The search is exponential in the worst case but small in practice because the
+service serializes writes through consensus; memoizing on the
+``(done-operations bitmask, store state)`` pair collapses the usual blow-up.
+A per-key state budget turns pathological instances into an explicit
+``undecided`` verdict instead of an endless search — and ``undecided`` fails
+the ``ok`` flag, so a certification gate stays conservative.
+
+Incomplete operations (invoked, never answered — the client crashed or the
+run hit its horizon) are handled the standard way: a mutating operation with
+no response *may* have taken effect at any point after its invocation, or
+never; an unanswered read constrains nothing and is dropped.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from ...sim.trace import RunTrace
+
+__all__ = [
+    "KVOperation",
+    "KVLinearizabilityResult",
+    "check_history",
+    "check_kv_linearizable",
+    "history_from_trace",
+]
+
+#: Sentinel store state for an absent key (clients never write ``None``).
+ABSENT = None
+
+
+@dataclass(frozen=True, slots=True)
+class KVOperation:
+    """One client operation with its observed invoke/response interval."""
+
+    request_id: str
+    op: str
+    key: str
+    args: tuple[Any, ...]
+    invoke: float
+    response: float | None
+    status: str | None
+    value: Any
+    version: int | None
+
+    @property
+    def completed(self) -> bool:
+        return self.response is not None
+
+
+@dataclass(frozen=True, slots=True)
+class KVLinearizabilityResult:
+    """The verdict; duck-types the ``CHECKS`` result protocol (``ok`` + time)."""
+
+    ok: bool
+    violations: tuple[str, ...]
+    undecided: tuple[str, ...]
+    ops_checked: int
+    states_explored: int
+    stabilization_time: float | None = None
+
+
+def history_from_trace(trace: RunTrace) -> list[KVOperation]:
+    """Pair ``kv.op`` invocations with ``kv.done`` responses across all clients."""
+    invokes: dict[str, tuple[float, str, str, tuple[Any, ...]]] = {}
+    responses: dict[str, tuple[float, str, Any, int | None]] = {}
+    for process in trace.processes_with_records():
+        for entry in trace.records_of(process, "kv.op"):
+            request_id, op, key, args = entry.value
+            invokes[request_id] = (entry.time, op, key, tuple(args))
+        for entry in trace.records_of(process, "kv.done"):
+            request_id, status, value, version = entry.value
+            if request_id not in responses:
+                responses[request_id] = (entry.time, status, value, version)
+    history = []
+    for request_id, (invoke, op, key, args) in invokes.items():
+        response = responses.get(request_id)
+        history.append(
+            KVOperation(
+                request_id=request_id,
+                op=op,
+                key=key,
+                args=args,
+                invoke=invoke,
+                response=response[0] if response else None,
+                status=response[1] if response else None,
+                value=response[2] if response else None,
+                version=response[3] if response else None,
+            )
+        )
+    history.sort(key=lambda operation: (operation.invoke, operation.request_id))
+    return history
+
+
+def _step(state: Any, operation: KVOperation) -> tuple[bool, Any]:
+    """Apply ``operation`` to the per-key ``state``; ``(legal, new_state)``.
+
+    For completed operations the recorded status/value must match what the
+    state machine would produce; for incomplete mutations the effect is taken
+    unconditionally (the caller also explores the never-took-effect branch).
+    """
+    op, args = operation.op, operation.args
+    if op == "GET":
+        if operation.completed and operation.value != state:
+            return False, state
+        return True, state
+    if op == "SET":
+        return True, args[0]
+    if op == "CAS":
+        expected, new = args
+        if not operation.completed:
+            # An unanswered CAS only takes effect if its expectation held.
+            if state != expected:
+                return False, state
+            return True, new
+        if operation.status == "ok":
+            if state != expected:
+                return False, state
+            return True, new
+        return (state != expected and operation.value == state), state
+    if op == "DEL":
+        if not operation.completed:
+            return True, ABSENT
+        if operation.status == "ok":
+            if state is ABSENT:
+                return False, state
+            return True, ABSENT
+        return state is ABSENT, state
+    raise ValueError(f"unknown KV operation: {op!r}")
+
+
+def _check_key(
+    operations: list[KVOperation], max_states: int
+) -> tuple[str, int]:
+    """Search one key's sub-history; returns ``(verdict, states_explored)``.
+
+    ``verdict`` is ``"ok"``, ``"violation"``, or ``"undecided"`` (budget hit).
+    """
+    operations = [
+        operation
+        for operation in operations
+        if operation.completed or operation.op != "GET"
+    ]
+    if not operations:
+        return "ok", 0
+    count = len(operations)
+    completed_mask = 0
+    for index, operation in enumerate(operations):
+        if operation.completed:
+            completed_mask |= 1 << index
+    seen: set[tuple[int, Any]] = set()
+    stack: list[tuple[int, Any]] = [(0, ABSENT)]
+    while stack:
+        if len(seen) > max_states:
+            return "undecided", len(seen)
+        done, state = stack.pop()
+        if (done & completed_mask) == completed_mask:
+            return "ok", len(seen)
+        if (done, state) in seen:
+            continue
+        seen.add((done, state))
+        # An operation may be linearized next only if its invocation does not
+        # follow the response of some other remaining *completed* operation.
+        earliest_response = min(
+            (
+                operations[index].response
+                for index in range(count)
+                if not done & (1 << index) and operations[index].completed
+            ),
+            default=None,
+        )
+        for index in range(count):
+            bit = 1 << index
+            if done & bit:
+                continue
+            operation = operations[index]
+            if earliest_response is not None and operation.invoke > earliest_response:
+                continue
+            if not operation.completed:
+                # Branch 1: the lost mutation never takes effect.
+                stack.append((done | bit, state))
+            legal, new_state = _step(state, operation)
+            if legal:
+                stack.append((done | bit, new_state))
+    return "violation", len(seen)
+
+
+def check_history(
+    history: list[KVOperation], *, max_states_per_key: int = 200_000
+) -> KVLinearizabilityResult:
+    """Check a full multi-key history key by key."""
+    by_key: dict[str, list[KVOperation]] = defaultdict(list)
+    for operation in history:
+        by_key[operation.key].append(operation)
+    violations: list[str] = []
+    undecided: list[str] = []
+    states_total = 0
+    for key in sorted(by_key):
+        verdict, states = _check_key(by_key[key], max_states_per_key)
+        states_total += states
+        if verdict == "violation":
+            violations.append(key)
+        elif verdict == "undecided":
+            undecided.append(key)
+    return KVLinearizabilityResult(
+        ok=not violations and not undecided,
+        violations=tuple(violations),
+        undecided=tuple(undecided),
+        ops_checked=len(history),
+        states_explored=states_total,
+    )
+
+
+def check_kv_linearizable(trace: RunTrace, pattern: Any = None) -> KVLinearizabilityResult:
+    """Registry-compatible adapter: certify the KV history of ``trace``."""
+    del pattern  # real-time order comes from the trace, not the failure pattern
+    return check_history(history_from_trace(trace))

@@ -25,7 +25,7 @@ from repro.experiments import (
 
 class TestHarnessShape:
     def test_all_experiments_registered(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 10)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
 
     @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
     def test_each_experiment_produces_rows_and_table(self, name):

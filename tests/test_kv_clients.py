@@ -1,0 +1,88 @@
+"""Unit tests for client load shapes, key skew, and operation sampling."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.kv import DEFAULT_MIX, ClientLoad
+from repro.workloads.kv.clients import sample_operation
+
+
+class TestClientLoadValidation:
+    def test_defaults_are_valid(self):
+        load = ClientLoad()
+        assert load.loop == "closed" and load.skew == "uniform"
+        assert load.mix == DEFAULT_MIX
+
+    def test_rejects_unknown_loop(self):
+        with pytest.raises(ValueError):
+            ClientLoad(loop="batch")
+
+    def test_rejects_unknown_skew(self):
+        with pytest.raises(ValueError):
+            ClientLoad(skew="pareto")
+
+    def test_rejects_empty_key_space(self):
+        with pytest.raises(ValueError):
+            ClientLoad(key_space=0)
+
+    def test_rejects_unknown_mix_operation(self):
+        with pytest.raises(ValueError):
+            ClientLoad(mix={"INCR": 1.0})
+
+    def test_rejects_all_zero_mix(self):
+        with pytest.raises(ValueError):
+            ClientLoad(mix={"GET": 0.0})
+
+
+class TestKeySampling:
+    def test_uniform_covers_the_key_space(self):
+        sampler = ClientLoad(key_space=4).key_sampler()
+        rng = random.Random(0)
+        seen = {sampler.sample(rng) for _ in range(200)}
+        assert seen == {"k0", "k1", "k2", "k3"}
+
+    def test_zipf_is_skewed_toward_low_ranks(self):
+        sampler = ClientLoad(key_space=8, skew="zipf", zipf_s=1.2).key_sampler()
+        rng = random.Random(0)
+        counts = Counter(sampler.sample(rng) for _ in range(2000))
+        assert counts["k0"] > counts["k3"] > counts["k7"]
+
+    def test_zipf_sampling_is_deterministic_per_seed(self):
+        load = ClientLoad(key_space=8, skew="zipf")
+        one = [load.key_sampler().sample(random.Random(42)) for _ in range(1)]
+        two = [load.key_sampler().sample(random.Random(42)) for _ in range(1)]
+        assert one == two
+        sampler = load.key_sampler()
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        assert [sampler.sample(rng_a) for _ in range(50)] == [
+            sampler.sample(rng_b) for _ in range(50)
+        ]
+
+    def test_zipf_keys_stay_in_range(self):
+        sampler = ClientLoad(key_space=3, skew="zipf", zipf_s=0.5).key_sampler()
+        rng = random.Random(1)
+        for _ in range(500):
+            key = sampler.sample(rng)
+            assert key in {"k0", "k1", "k2"}
+
+
+class TestOperationSampling:
+    def test_respects_zero_weights(self):
+        rng = random.Random(0)
+        mix = {"GET": 1.0, "SET": 0.0, "CAS": 0.0, "DEL": 0.0}
+        assert all(sample_operation(rng, mix) == "GET" for _ in range(100))
+
+    def test_default_mix_is_read_heavy(self):
+        rng = random.Random(0)
+        counts = Counter(sample_operation(rng, dict(DEFAULT_MIX)) for _ in range(2000))
+        assert counts["GET"] > counts["SET"] > counts["DEL"]
+
+    def test_partial_mix_is_normalized(self):
+        rng = random.Random(0)
+        counts = Counter(sample_operation(rng, {"SET": 3.0, "DEL": 1.0}) for _ in range(1000))
+        assert set(counts) == {"SET", "DEL"}
+        assert counts["SET"] > counts["DEL"]

@@ -1,0 +1,111 @@
+"""Unit tests for KV command encoding and the replicated state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.kv import (
+    ApplyResult,
+    ReplicatedKV,
+    decode_command,
+    encode_command,
+)
+
+
+class TestCommandEncoding:
+    def test_round_trip(self):
+        command = encode_command("c0:1", "SET", "k3", "v-c0-1")
+        assert decode_command(command) == ("c0:1", "SET", "k3", ("v-c0-1",))
+
+    def test_round_trip_without_args(self):
+        assert decode_command(encode_command("c1:0", "GET", "k0")) == ("c1:0", "GET", "k0", ())
+
+    def test_cas_carries_expected_and_new(self):
+        command = encode_command("c0:2", "CAS", "k1", None, "v-new")
+        assert decode_command(command) == ("c0:2", "CAS", "k1", (None, "v-new"))
+
+    def test_commands_are_orderable_strings(self):
+        # Consensus coordination breaks ties with min() over proposals.
+        a = encode_command("a:0", "SET", "k0", "x")
+        b = encode_command("b:0", "SET", "k0", "x")
+        assert isinstance(a, str) and min(a, b) == a
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            encode_command("c0:0", "INCR", "k0")
+
+
+class TestReplicatedKV:
+    def test_set_then_get(self):
+        store = ReplicatedKV()
+        assert store.apply(encode_command("r1", "SET", "k", "v1")) == ApplyResult("ok", "v1", 1)
+        assert store.apply(encode_command("r2", "GET", "k")) == ApplyResult("ok", "v1", 1)
+
+    def test_get_absent_key(self):
+        store = ReplicatedKV()
+        assert store.apply(encode_command("r1", "GET", "k")) == ApplyResult("ok", None, 0)
+
+    def test_versions_are_per_key_and_monotone(self):
+        store = ReplicatedKV()
+        store.apply(encode_command("r1", "SET", "a", "v1"))
+        store.apply(encode_command("r2", "SET", "a", "v2"))
+        store.apply(encode_command("r3", "SET", "b", "w1"))
+        assert store.read("a") == ("v2", 2)
+        assert store.read("b") == ("w1", 1)
+
+    def test_cas_success(self):
+        store = ReplicatedKV()
+        store.apply(encode_command("r1", "SET", "k", "v1"))
+        result = store.apply(encode_command("r2", "CAS", "k", "v1", "v2"))
+        assert result == ApplyResult("ok", "v2", 2)
+        assert store.read("k") == ("v2", 2)
+
+    def test_cas_failure_returns_current_value_and_keeps_version(self):
+        store = ReplicatedKV()
+        store.apply(encode_command("r1", "SET", "k", "v1"))
+        result = store.apply(encode_command("r2", "CAS", "k", "stale", "v2"))
+        assert result == ApplyResult("fail", "v1", 1)
+        assert store.read("k") == ("v1", 1)
+
+    def test_cas_none_matches_absent_key(self):
+        store = ReplicatedKV()
+        result = store.apply(encode_command("r1", "CAS", "k", None, "v1"))
+        assert result == ApplyResult("ok", "v1", 1)
+
+    def test_del_existing_and_absent(self):
+        store = ReplicatedKV()
+        store.apply(encode_command("r1", "SET", "k", "v1"))
+        assert store.apply(encode_command("r2", "DEL", "k")) == ApplyResult("ok", None, 2)
+        assert store.apply(encode_command("r3", "DEL", "k")) == ApplyResult("miss", None, 2)
+        assert store.read("k") == (None, 2)
+
+    def test_duplicate_request_id_applies_once(self):
+        store = ReplicatedKV()
+        command = encode_command("r1", "SET", "k", "v1")
+        first = store.apply(command)
+        assert first is not None
+        assert store.apply(command) is None
+        assert store.commands_applied == 1
+        assert store.result_for("r1") == first
+
+    def test_snapshot_and_len(self):
+        store = ReplicatedKV()
+        store.apply(encode_command("r1", "SET", "a", "v1"))
+        store.apply(encode_command("r2", "SET", "b", "v2"))
+        store.apply(encode_command("r3", "DEL", "a"))
+        assert store.snapshot() == {"b": "v2"}
+        assert len(store) == 1
+
+    def test_determinism_same_commands_same_state(self):
+        commands = [
+            encode_command("r1", "SET", "a", "v1"),
+            encode_command("r2", "CAS", "a", "v1", "v2"),
+            encode_command("r3", "SET", "b", "w"),
+            encode_command("r4", "DEL", "b"),
+        ]
+        one, two = ReplicatedKV(), ReplicatedKV()
+        for command in commands:
+            one.apply(command)
+            two.apply(command)
+        assert one.snapshot() == two.snapshot()
+        assert one.read("a") == two.read("a")

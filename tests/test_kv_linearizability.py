@@ -1,0 +1,192 @@
+"""Unit tests for the Wing & Gong-style KV linearizability checker."""
+
+from __future__ import annotations
+
+from repro.identity import ProcessId
+from repro.sim.trace import RunTrace
+from repro.workloads.kv import (
+    KVOperation,
+    check_history,
+    check_kv_linearizable,
+    history_from_trace,
+)
+
+
+def op(
+    rid,
+    kind,
+    key,
+    invoke,
+    response,
+    *,
+    args=(),
+    status="ok",
+    value=None,
+    version=None,
+):
+    """A completed (or, with ``response=None``, pending) operation."""
+    return KVOperation(
+        request_id=rid,
+        op=kind,
+        key=key,
+        args=tuple(args),
+        invoke=invoke,
+        response=response,
+        status=None if response is None else status,
+        value=None if response is None else value,
+        version=version,
+    )
+
+
+class TestValidHistories:
+    def test_empty_history(self):
+        result = check_history([])
+        assert result.ok and result.ops_checked == 0
+
+    def test_sequential_set_then_get(self):
+        history = [
+            op("a", "SET", "k", 0.0, 1.0, args=("v1",), value="v1"),
+            op("b", "GET", "k", 2.0, 3.0, value="v1"),
+        ]
+        assert check_history(history).ok
+
+    def test_concurrent_get_may_read_old_value(self):
+        history = [
+            op("a", "SET", "k", 0.0, 10.0, args=("v1",), value="v1"),
+            op("b", "GET", "k", 1.0, 2.0, value=None),  # linearized before the SET
+        ]
+        assert check_history(history).ok
+
+    def test_cas_chain(self):
+        history = [
+            op("a", "CAS", "k", 0.0, 1.0, args=(None, "v1"), value="v1"),
+            op("b", "GET", "k", 2.0, 3.0, value="v1"),
+            op("c", "CAS", "k", 4.0, 5.0, args=(None, "v2"), status="fail", value="v1"),
+            op("d", "CAS", "k", 6.0, 7.0, args=("v1", "v2"), value="v2"),
+        ]
+        assert check_history(history).ok
+
+    def test_delete_then_miss(self):
+        history = [
+            op("a", "SET", "k", 0.0, 1.0, args=("v1",), value="v1"),
+            op("b", "DEL", "k", 2.0, 3.0),
+            op("c", "GET", "k", 4.0, 5.0, value=None),
+            op("d", "DEL", "k", 6.0, 7.0, status="miss"),
+        ]
+        assert check_history(history).ok
+
+    def test_keys_are_checked_independently(self):
+        history = [
+            op("a", "SET", "x", 0.0, 1.0, args=("v1",), value="v1"),
+            op("b", "SET", "y", 0.5, 1.5, args=("w1",), value="w1"),
+            op("c", "GET", "x", 2.0, 3.0, value="v1"),
+            op("d", "GET", "y", 2.0, 3.0, value="w1"),
+        ]
+        result = check_history(history)
+        assert result.ok and result.ops_checked == 4
+
+
+class TestViolations:
+    def test_stale_read_after_completed_set(self):
+        history = [
+            op("a", "SET", "k", 0.0, 1.0, args=("v1",), value="v1"),
+            op("b", "GET", "k", 2.0, 3.0, value=None),  # must have seen v1
+        ]
+        result = check_history(history)
+        assert not result.ok
+        assert result.violations == ("k",)
+
+    def test_lost_update(self):
+        history = [
+            op("a", "SET", "k", 0.0, 1.0, args=("v1",), value="v1"),
+            op("b", "SET", "k", 2.0, 3.0, args=("v2",), value="v2"),
+            op("c", "GET", "k", 4.0, 5.0, value="v1"),  # v2 overwrote v1
+        ]
+        assert not check_history(history).ok
+
+    def test_cas_ok_against_never_written_value(self):
+        history = [
+            op("a", "SET", "k", 0.0, 1.0, args=("v2",), value="v2"),
+            op("b", "CAS", "k", 2.0, 3.0, args=("v0", "v1"), value="v1"),
+        ]
+        assert not check_history(history).ok
+
+    def test_violation_in_one_key_does_not_blame_others(self):
+        history = [
+            op("a", "SET", "x", 0.0, 1.0, args=("v1",), value="v1"),
+            op("b", "GET", "x", 2.0, 3.0, value=None),
+            op("c", "SET", "y", 0.0, 1.0, args=("w1",), value="w1"),
+            op("d", "GET", "y", 2.0, 3.0, value="w1"),
+        ]
+        result = check_history(history)
+        assert result.violations == ("x",)
+
+
+class TestIncompleteOperations:
+    def test_pending_set_may_have_taken_effect(self):
+        history = [
+            op("a", "SET", "k", 0.0, None, args=("v1",)),
+            op("b", "GET", "k", 5.0, 6.0, value="v1"),
+        ]
+        assert check_history(history).ok
+
+    def test_pending_set_may_never_take_effect(self):
+        history = [
+            op("a", "SET", "k", 0.0, None, args=("v1",)),
+            op("b", "GET", "k", 5.0, 6.0, value=None),
+        ]
+        assert check_history(history).ok
+
+    def test_pending_get_constrains_nothing(self):
+        history = [
+            op("a", "GET", "k", 0.0, None),
+            op("b", "SET", "k", 1.0, 2.0, args=("v1",), value="v1"),
+        ]
+        result = check_history(history)
+        assert result.ok
+
+    def test_pending_cas_with_false_expectation_cannot_take_effect(self):
+        history = [
+            op("a", "CAS", "k", 0.0, None, args=("v0", "v1")),  # k was never v0
+            op("b", "GET", "k", 5.0, 6.0, value="v1"),
+        ]
+        assert not check_history(history).ok
+
+
+class TestBudget:
+    def test_budget_exhaustion_is_undecided_not_ok(self):
+        # 14 mutually concurrent completed SETs: the search space is far
+        # beyond a 5-state budget, and none of the orders can be completed
+        # before the budget trips.
+        history = [
+            op(f"r{i}", "SET", "k", 0.0, 100.0, args=(f"v{i}",), value=f"v{i}")
+            for i in range(14)
+        ] + [op("g", "GET", "k", 200.0, 201.0, value="v0")]
+        result = check_history(history, max_states_per_key=5)
+        assert not result.ok
+        assert result.undecided == ("k",)
+        assert result.violations == ()
+
+
+class TestTraceAdapter:
+    def test_history_pairs_op_and_done_records(self):
+        trace = RunTrace()
+        client = ProcessId(7)
+        trace.record(client, "kv.op", ("c0:0", "SET", "k", ("v1",)), 1.0)
+        trace.record(client, "kv.done", ("c0:0", "ok", "v1", 1), 4.0)
+        trace.record(client, "kv.op", ("c0:1", "GET", "k", ()), 5.0)
+        history = history_from_trace(trace)
+        assert [operation.request_id for operation in history] == ["c0:0", "c0:1"]
+        assert history[0].completed and history[0].response == 4.0
+        assert not history[1].completed
+
+    def test_check_kv_linearizable_on_trace(self):
+        trace = RunTrace()
+        client = ProcessId(7)
+        trace.record(client, "kv.op", ("c0:0", "SET", "k", ("v1",)), 1.0)
+        trace.record(client, "kv.done", ("c0:0", "ok", "v1", 1), 2.0)
+        trace.record(client, "kv.op", ("c0:1", "GET", "k", ()), 3.0)
+        trace.record(client, "kv.done", ("c0:1", "ok", None, 0), 4.0)  # stale!
+        result = check_kv_linearizable(trace, pattern=None)
+        assert not result.ok
+        assert result.stabilization_time is None  # duck-types the CHECKS result
