@@ -1,0 +1,73 @@
+"""Real-backend detection latency at two (hb_interval, hb_timeout) points.
+
+Each row runs one 3-node heartbeat scenario on the **real** asyncio/TCP
+backend (subprocesses, SIGKILL fault injection) and tracks the wall time of
+the whole orchestrated run.  The detection latency itself is carried along
+as ``median_detection_ms`` so the committed baseline doubles as a recorded
+sim-vs-real data point.
+
+These rows measure sockets, subprocess spawns, and OS scheduling — *not*
+simulator hot paths — so they are flagged noisy: each entry sets
+``max_regression_pct`` (honoured per-row by ``compare_bench.py``) far above
+the default 25% gate.  A genuine hang still fails CI (the orchestrator and
+the conftest alarm bound every run); a slow shared runner does not.
+
+Run explicitly (the rows are too slow for the default bench loop)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_transport_detection.py \
+        -q --benchmark-only
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.runtime import Engine
+from repro.transport.__main__ import build_heartbeat_spec
+from repro.transport.orchestrator import DEFAULT_TIME_SCALE
+from repro.transport.validate import units_to_ms
+
+#: Wall-clock rows tolerate big swings: shared runners schedule subprocesses
+#: erratically, and the run length itself is dominated by the scenario
+#: horizon, not by code under our control.
+MAX_REGRESSION_PCT = 150.0
+
+
+def _run_real(hb_interval: float, hb_timeout: float):
+    record = Engine().run(
+        build_heartbeat_spec(
+            nodes=3,
+            hb_interval=hb_interval,
+            hb_timeout=hb_timeout,
+            backend="real",
+            time_scale=DEFAULT_TIME_SCALE,
+        )
+    )
+    assert record.metrics["hb_detection_ok"], record.metrics
+    return record
+
+
+def _bench_point(benchmark, key: str, hb_interval: float, hb_timeout: float) -> None:
+    latencies: list[float] = []
+
+    def _round():
+        record = _run_real(hb_interval, hb_timeout)
+        latencies.append(record.metrics["hb_detection_time"])
+
+    benchmark.pedantic(_round, rounds=3, iterations=1)
+    benchmark.extra_info["bench_core_key"] = key
+    benchmark.extra_info["kind"] = "transport_wallclock"
+    benchmark.extra_info["max_regression_pct"] = MAX_REGRESSION_PCT
+    benchmark.extra_info["median_detection_ms"] = round(
+        units_to_ms(statistics.median(latencies), DEFAULT_TIME_SCALE), 3
+    )
+
+
+def test_transport_detection_i1_t3(benchmark):
+    """Tight cell: 1-unit interval, 3-unit timeout (50 ms / 150 ms wall)."""
+    _bench_point(benchmark, "transport_detect_i1_t3", hb_interval=1.0, hb_timeout=3.0)
+
+
+def test_transport_detection_i2_t6(benchmark):
+    """Slack cell: 2-unit interval, 6-unit timeout (100 ms / 300 ms wall)."""
+    _bench_point(benchmark, "transport_detect_i2_t6", hb_interval=2.0, hb_timeout=6.0)

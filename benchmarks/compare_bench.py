@@ -11,8 +11,11 @@ when any shared benchmark's median slowed down by more than the given
 percentage, or when a tracked benchmark vanished from the current results.
 CI runs the gate at 25% — generous because shared runners are noisy, but a
 real regression in any tracked median now fails the build instead of
-scrolling past as information.  The committed baseline is refreshed
-deliberately, not by CI.
+scrolling past as information.  A baseline row may carry its own
+``max_regression_pct`` which overrides the global budget for that row only
+(the wall-clock transport rows use this: subprocess scheduling noise dwarfs
+a sim median's jitter).  The committed baseline is refreshed deliberately,
+not by CI.
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
     current = _load(args.current)
     keys = sorted(set(baseline) | set(current))
     width = max((len(key) for key in keys), default=10)
-    worst = 0.0
+    over_budget: list[tuple[str, float, float]] = []
     missing_in_current: list[str] = []
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
     for key in keys:
@@ -61,7 +64,13 @@ def main(argv: list[str] | None = None) -> int:
         old_median = old["median_seconds"]
         new_median = new["median_seconds"]
         change = (new_median - old_median) / old_median * 100.0
-        worst = max(worst, change)
+        # A baseline row may carry its own budget (wall-clock rows from the
+        # real transport backend are far noisier than sim medians); it
+        # overrides the global --max-regression for that row only.
+        if args.max_regression is not None:
+            limit = float(old.get("max_regression_pct", args.max_regression))
+            if change > limit:
+                over_budget.append((key, change, limit))
         per_event = ""
         if "median_ns_per_event" in new and "median_ns_per_event" in old:
             per_event = (
@@ -88,12 +97,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
-        if worst > args.max_regression:
-            print(
-                f"FAIL: worst regression {worst:+.1f}% exceeds --max-regression "
-                f"{args.max_regression:.1f}%",
-                file=sys.stderr,
-            )
+        if over_budget:
+            for key, change, limit in over_budget:
+                print(
+                    f"FAIL: {key} regressed {change:+.1f}% "
+                    f"(budget {limit:.1f}%)",
+                    file=sys.stderr,
+                )
             return 1
     return 0
 

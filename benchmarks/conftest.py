@@ -68,6 +68,12 @@ def pytest_sessionfinish(session, exitstatus):
         if runs:
             entry["runs_per_round"] = runs
             entry["runs_per_second"] = runs / median_seconds
+        # Wall-clock rows (the real transport backend) carry their own
+        # regression budget and the measured detection latency; pass those
+        # through so compare_bench.py can gate each row on its own terms.
+        for passthrough in ("kind", "max_regression_pct", "median_detection_ms"):
+            if passthrough in extra:
+                entry[passthrough] = extra[passthrough]
         entries[key] = entry
     if not entries:
         return

@@ -10,13 +10,18 @@ outputs purely from messages — they are the paper's implementability results:
   Figure 7, implements HΣ in ``HSS[∅]``.
 * :class:`~repro.algorithms.script_alive.ScriptAliveProgram` — Figure 3,
   implements the auxiliary class ℰ in ``AS[∅]``.
+* :class:`~repro.algorithms.heartbeat.HeartbeatMonitorProgram` — the
+  HB_PING/HB_ACK monitor of the sim-vs-real validation harness (ROADMAP
+  item 3); runs unchanged on the simulator and the TCP backend.
 """
 
+from .heartbeat import HeartbeatMonitorProgram
 from .hsigma_synchronous import HSigmaSynchronousProgram
 from .ohp_polling import OhpPollingProgram
 from .script_alive import ScriptAliveProgram
 
 __all__ = [
+    "HeartbeatMonitorProgram",
     "HSigmaSynchronousProgram",
     "OhpPollingProgram",
     "ScriptAliveProgram",

@@ -1,0 +1,113 @@
+"""A backend-portable heartbeat failure monitor (HB_PING / HB_ACK).
+
+This is the detection workload of the sim-vs-real validation harness
+(ROADMAP item 3; the protocol follows the kv-2node-fd-spec recipe quoted in
+SNIPPETS.md Snippet 1):
+
+* every ``hb_interval`` time units the process broadcasts
+  ``HB_PING(identity)`` and then re-evaluates its suspicions;
+* on receiving a ``HB_PING`` it answers with ``HB_ACK`` addressed to the
+  pinger's identifier (broadcast; non-targets ignore it);
+* ``last_ack[q]`` is updated **only** when an ``HB_ACK`` addressed to us
+  arrives from ``q`` — a late ACK simply rescues ``q`` before the next check;
+* once ``now − last_ack[q] ≥ hb_timeout`` the process declares ``q`` dead
+  exactly once (a single ``dead_declared`` flag per peer, so duplicate
+  declarations cannot happen at the source).
+
+Membership is unknown (the paper's setting): peers are discovered from the
+``HB_PING`` traffic itself, and a peer's liveness clock starts at discovery.
+
+The program speaks only the :class:`~repro.context.AbstractProcessContext`
+protocol, so the *same object* runs on the discrete-event simulator and on
+the asyncio/TCP transport backend.  Detection events are emitted through
+``ctx.record`` under the same names the real backend logs to JSONL
+(``declared_dead``), which is what lets one aggregator consume both.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..context import AbstractProcessContext, ProcessProgram
+from ..identity import Identity
+
+__all__ = ["HeartbeatMonitorProgram"]
+
+#: Trace-record / JSONL-event name for a (single) dead declaration.
+DECLARED_DEAD = "declared_dead"
+
+
+class HeartbeatMonitorProgram(ProcessProgram):
+    """Full-mesh heartbeat monitoring: every process pings and watches everyone."""
+
+    def __init__(
+        self,
+        *,
+        hb_interval: float = 1.0,
+        hb_timeout: float = 3.0,
+        record_pings: bool = False,
+    ) -> None:
+        if hb_interval <= 0:
+            raise ValueError("hb_interval must be positive")
+        if hb_timeout <= 0:
+            raise ValueError("hb_timeout must be positive")
+        self._hb_interval = hb_interval
+        self._hb_timeout = hb_timeout
+        self._record_pings = record_pings
+
+        #: identity -> time of the last HB_ACK addressed to us from it
+        #: (initialised to the discovery time, the grace period of §4).
+        self.last_ack: dict[Identity, float] = {}
+        #: identities already declared dead (the single-declare flags).
+        self.dead: set[Identity] = set()
+
+    # ------------------------------------------------------------------
+    def setup(self, ctx: AbstractProcessContext) -> None:
+        ctx.on("HB_PING", lambda msg: self._on_ping(ctx, msg))
+        ctx.on("HB_ACK", lambda msg: self._on_ack(ctx, msg))
+        ctx.spawn(lambda: self._monitor_task(ctx), name="hb-monitor")
+
+    # ------------------------------------------------------------------
+    def _monitor_task(self, ctx: AbstractProcessContext):
+        while True:
+            ctx.broadcast("HB_PING", identity=ctx.identity)
+            if self._record_pings:
+                ctx.record("hb_ping_sent", ctx.identity)
+            yield ctx.sleep(self._hb_interval)
+            self._check_timeouts(ctx)
+
+    def _check_timeouts(self, ctx: AbstractProcessContext) -> None:
+        now = ctx.now
+        for identity, seen in self.last_ack.items():
+            if identity in self.dead or identity == ctx.identity:
+                continue
+            if now - seen >= self._hb_timeout:
+                self.dead.add(identity)
+                ctx.record(DECLARED_DEAD, identity)
+
+    # ------------------------------------------------------------------
+    def _on_ping(self, ctx: AbstractProcessContext, message: Any) -> None:
+        pinger = message["identity"]
+        self._discover(ctx, pinger)
+        ctx.broadcast("HB_ACK", target=pinger, identity=ctx.identity)
+
+    def _on_ack(self, ctx: AbstractProcessContext, message: Any) -> None:
+        if message["target"] != ctx.identity:
+            return
+        responder = message["identity"]
+        self._discover(ctx, responder)
+        self.last_ack[responder] = ctx.now
+        if self._record_pings:
+            ctx.record("hb_ack_recv", responder)
+        # A late ACK rescues an undeclared peer, but declarations are final
+        # (the single dead_declared flag) — matching Snippet 1 §10.
+
+    def _discover(self, ctx: AbstractProcessContext, identity: Identity) -> None:
+        if identity != ctx.identity and identity not in self.last_ack:
+            self.last_ack[identity] = ctx.now
+
+    def describe(self) -> str:
+        return (
+            f"heartbeat monitor (interval={self._hb_interval}, "
+            f"timeout={self._hb_timeout})"
+        )

@@ -1,0 +1,182 @@
+"""The backend-agnostic program/context protocol.
+
+Algorithms are written as :class:`ProcessProgram` subclasses and see the world
+only through an :class:`AbstractProcessContext`.  The protocol is deliberately
+*backend-free*: nothing in it mentions the discrete-event scheduler, event
+queues, or wall clocks, so the same program object runs unchanged on
+
+* the discrete-event simulator (:class:`repro.sim.process.ProcessContext`,
+  where ``now`` is simulated time and ``sleep`` schedules a resume event), and
+* the real asyncio/TCP transport backend
+  (:class:`repro.transport.context.RealProcessContext`, where ``now`` is a
+  shared monotonic clock scaled to scenario time units and ``sleep`` awaits
+  wall-clock time).
+
+The blocking vocabulary (:class:`Sleep`, :class:`WaitUntil`,
+:class:`NextSyncStep`) is shared: tasks are ordinary generator functions that
+yield these requests, and each backend supplies its own trampoline.  A program
+must never import simulator internals (``repro.sim.scheduler``,
+``repro.sim.events``); a tier-1 lint test enforces this for every module under
+``repro/detectors``, ``repro/consensus``, and ``repro/algorithms``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from .errors import SimulationError
+from .identity import Identity
+
+__all__ = [
+    "Sleep",
+    "WaitUntil",
+    "NextSyncStep",
+    "BlockingRequest",
+    "ProcessProgram",
+    "AbstractProcessContext",
+]
+
+
+# ----------------------------------------------------------------------
+# Blocking requests that tasks may yield
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Suspend the task for ``duration`` scenario time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError("cannot sleep for a negative duration")
+
+
+@dataclass(frozen=True, slots=True)
+class WaitUntil:
+    """Suspend the task until ``predicate()`` becomes true.
+
+    The predicate is re-evaluated whenever a message is delivered to the
+    process and whenever the process is poked (e.g. because an attached
+    detector's output changed).
+    """
+
+    predicate: Callable[[], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class NextSyncStep:
+    """Suspend the task until the next synchronous step boundary (HSS only)."""
+
+
+BlockingRequest = Sleep | WaitUntil | NextSyncStep
+
+
+# ----------------------------------------------------------------------
+# Program interface
+# ----------------------------------------------------------------------
+class ProcessProgram:
+    """Base class for the algorithm run by one process.
+
+    Subclasses override :meth:`setup` to register message handlers and spawn
+    tasks.  Programs of homonymous processes are *identical by construction*
+    (the paper's assumption that homonymous processes execute the same
+    program): any per-process input (such as a proposal value) must be passed
+    explicitly through the constructor by the scenario builder.
+    """
+
+    def setup(self, ctx: "AbstractProcessContext") -> None:
+        """Register handlers and spawn tasks.  Called once when the run starts."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable name used in traces and experiment tables."""
+        return type(self).__name__
+
+
+class AbstractProcessContext:
+    """The program-facing API of one process, independent of the backend.
+
+    Concrete backends implement the abstract members; the blocking-request
+    constructors are shared so ``yield ctx.sleep(d)`` means the same thing
+    everywhere.  A program never sees the membership, the failure pattern,
+    other processes' internal ids, or the global clock — matching the paper's
+    adversaries (homonymy, unknown membership, asynchrony).
+    """
+
+    # -- static facts ---------------------------------------------------
+    @property
+    def identity(self) -> Identity:
+        """The process's own identifier ``id(p)``."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:
+        """The current time in scenario time units.
+
+        Exposed for local timing and trace annotations only; algorithm logic
+        must not branch on absolute time (the paper's processes cannot read
+        the global clock).
+        """
+        raise NotImplementedError
+
+    @property
+    def random(self) -> random.Random:
+        """A per-process deterministic random stream."""
+        raise NotImplementedError
+
+    # -- blocking requests (shared constructors) ------------------------
+    def sleep(self, duration: float) -> Sleep:
+        """Yieldable: suspend for ``duration`` time units (``wait timeout``)."""
+        return Sleep(duration)
+
+    def wait_until(self, predicate: Callable[[], bool]) -> WaitUntil:
+        """Yieldable: suspend until ``predicate()`` holds (``wait until …``)."""
+        return WaitUntil(predicate)
+
+    def next_synchronous_step(self) -> NextSyncStep:
+        """Yieldable: suspend until the next synchronous step boundary."""
+        return NextSyncStep()
+
+    # -- communication ---------------------------------------------------
+    def broadcast(self, kind: str, **fields: Any) -> None:
+        """Broadcast ``⟨kind, fields…⟩`` to every process, including the sender."""
+        raise NotImplementedError
+
+    def on(self, kind: str, handler: Callable[[Any], None]) -> None:
+        """Register an "upon reception of ⟨kind, …⟩" handler."""
+        raise NotImplementedError
+
+    # -- tasks -------------------------------------------------------------
+    def spawn(self, task: Callable[[], Generator], *, name: str = "") -> None:
+        """Start a task (a generator function yielding blocking requests)."""
+        raise NotImplementedError
+
+    # -- failure detectors -------------------------------------------------
+    def detector(self, name: str) -> Any:
+        """Return the query view of the attached detector registered as ``name``."""
+        raise NotImplementedError
+
+    def has_detector(self, name: str) -> bool:
+        """Return ``True`` when a detector named ``name`` is attached."""
+        raise NotImplementedError
+
+    def attach_detector(self, name: str, view: Any) -> None:
+        """Attach a detector view from within a program.
+
+        This is how a *stacked* configuration works: a composite program runs a
+        detector implementation (e.g. the Figure 6 polling algorithm) next to a
+        consensus algorithm on the same process and exposes the implementation's
+        output as the detector the consensus algorithm queries.
+        """
+        raise NotImplementedError
+
+    # -- trace output ------------------------------------------------------
+    def record(self, key: str, value: Any) -> None:
+        """Record a time-stamped variable snapshot into the run trace."""
+        raise NotImplementedError
+
+    def decide(self, value: Any) -> None:
+        """Record a consensus decision (first decision wins)."""
+        raise NotImplementedError

@@ -28,6 +28,7 @@ from .e7_coordination_ablation import run as run_e7
 from .e8_stacked_consensus import run as run_e8
 from .e9_fault_envelope import run as run_e9
 from .e10_kv_service import run as run_e10
+from .e11_sim_vs_real import run as run_e11
 
 from ..runtime.registry import EXPERIMENTS, register_experiment
 
@@ -44,12 +45,22 @@ ALL_EXPERIMENTS = {
     "E10": run_e10,
 }
 
-for _name, _runner in ALL_EXPERIMENTS.items():
+#: Experiments that measure wall-clock behaviour (the real transport
+#: backend).  They are registered and runnable by name, but excluded from
+#: ``ALL_EXPERIMENTS`` — and therefore from the determinism-digest manifest
+#: and the CLI's default selection — because their results are not
+#: bit-reproducible.
+WALLCLOCK_EXPERIMENTS = {
+    "E11": run_e11,
+}
+
+for _name, _runner in {**ALL_EXPERIMENTS, **WALLCLOCK_EXPERIMENTS}.items():
     if _name not in EXPERIMENTS:
         register_experiment(_name, _runner)
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "WALLCLOCK_EXPERIMENTS",
     "run_e1",
     "run_e2",
     "run_e3",
@@ -60,4 +71,5 @@ __all__ = [
     "run_e8",
     "run_e9",
     "run_e10",
+    "run_e11",
 ]

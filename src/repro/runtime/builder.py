@@ -83,6 +83,8 @@ class ScenarioBuilder:
         self._program_params: dict[str, Any] = {}
         self._kv: KVSpec | None = None
         self._checks: list[str] = []
+        self._backend: str = "sim"
+        self._backend_params: dict[str, Any] = {}
         self._horizon: float = 500.0
         self._seed: int = 0
 
@@ -219,6 +221,19 @@ class ScenarioBuilder:
         self._checks.extend(names)
         return self
 
+    def backend(self, name: str, **params: Any) -> "ScenarioBuilder":
+        """Select the execution backend: ``"sim"`` (default) or ``"real"``.
+
+        ``"real"`` executes the scenario as N OS processes exchanging frames
+        over TCP (:mod:`repro.transport`); ``params`` go to the orchestrator
+        (``time_scale`` — wall seconds per scenario time unit, ``log_dir`` —
+        keep the JSONL node logs there, ``settle``, ``fault_action``,
+        ``keep_logs``).
+        """
+        self._backend = name
+        self._backend_params = params
+        return self
+
     # -- run control ---------------------------------------------------
     def horizon(self, horizon: float) -> "ScenarioBuilder":
         """Simulated-time bound for the run."""
@@ -269,6 +284,8 @@ class ScenarioBuilder:
             program_params=dict(self._program_params),
             checks=tuple(self._checks),
             kv=self._kv,
+            backend=self._backend,
+            backend_params=dict(self._backend_params),
             horizon=self._horizon,
             seed=self._seed,
             name=self._name,
@@ -341,6 +358,9 @@ def validate_spec(spec: ScenarioSpec) -> None:
             "acknowledge it with .adversarial() to execute anyway"
         )
 
+    if spec.backend == "real":
+        _validate_real_backend(spec)
+
     membership = spec.membership.build()
     n = membership.size
     worst_faulty = spec.crashes.worst_case_faulty(n)
@@ -406,6 +426,49 @@ def validate_spec(spec: ScenarioSpec) -> None:
         raise ScenarioValidationError(
             f"consensus {spec.consensus!r} is only defined for anonymous "
             "systems; the membership has distinct identifiers"
+        )
+
+
+def _validate_real_backend(spec: ScenarioSpec) -> None:
+    """What the asyncio/TCP backend can and cannot execute.
+
+    The real backend runs *message-passing programs* — code that lives
+    entirely behind the context protocol.  Oracle detectors read the global
+    failure pattern (omniscience no real process has), the KV runner and the
+    consensus metrics pipeline are wired to the simulator's trace, and
+    synchronous rounds don't exist on a real network; all of those stay
+    sim-only and are rejected here with an explanation rather than failing
+    at run time inside a subprocess.
+    """
+    if spec.program is None:
+        raise ScenarioValidationError(
+            "the real backend runs message-passing programs: pick one with "
+            ".program(...) (e.g. 'heartbeat'); oracle-backed consensus and "
+            "the KV workload are sim-only"
+        )
+    if spec.consensus is not None or spec.kv is not None:
+        raise ScenarioValidationError(
+            "the real backend cannot run consensus or KV workloads yet: "
+            "their detector oracles and metrics read the simulator's global "
+            "failure pattern and trace; drop .consensus()/.kv() or use "
+            'backend="sim"'
+        )
+    if spec.detectors:
+        raise ScenarioValidationError(
+            "detector oracles are omniscient (they read the failure "
+            "pattern) and cannot exist on the real backend; use an "
+            "implementation program instead"
+        )
+    if spec.timing.kind == "synchronous":
+        raise ScenarioValidationError(
+            "a real network has no synchronous rounds; HSS scenarios are "
+            "sim-only"
+        )
+    if not spec.network.is_reliable:
+        raise ScenarioValidationError(
+            "link-fault models (loss/jitter/partitions) are simulated "
+            "network behaviour; the real backend's links are the real "
+            "network — drop .network(...) for real runs"
         )
 
 

@@ -223,6 +223,13 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
     reference and the spec by value, so a sweep of specs fans out over worker
     processes with no extra machinery.
     """
+    if spec.backend == "real":
+        # The asyncio/TCP backend: the same program objects as real OS
+        # processes over real sockets; imported lazily for the same
+        # acyclicity reason as the KV runner below.
+        from ..transport.orchestrator import execute_real_spec
+
+        return execute_real_spec(spec)
     if spec.kv is not None:
         # The KV service workload has its own materialisation (replica group
         # + client processes); imported lazily to keep the import graph
@@ -537,13 +544,16 @@ class Engine:
         return iter(self.executor.map(fn, items))
 
     def _cache_get_record(self, spec: ScenarioSpec) -> RunRecord | None:
-        if self.cache is None:
+        # Real-backend runs are wall-clock measurements: two runs of the same
+        # spec are *supposed* to differ, so memoizing one would silently turn
+        # a latency distribution into one frozen sample.  Sim runs only.
+        if self.cache is None or spec.backend != "sim":
             return None
         payload = self.cache.get(RunCache.record_key(spec))
         return None if payload is None else RunRecord.from_dict(payload)
 
     def _cache_put_record(self, spec: ScenarioSpec, record: RunRecord) -> None:
-        if self.cache is not None:
+        if self.cache is not None and spec.backend == "sim":
             self.cache.put(RunCache.record_key(spec), record.to_dict())
 
     def _cache_get_outcome(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
 from ..algorithms import (
+    HeartbeatMonitorProgram,
     HSigmaSynchronousProgram,
     OhpPollingProgram,
     ScriptAliveProgram,
@@ -368,6 +369,11 @@ register_program(
     lambda params: ScriptAliveProgram(**params),
     paper_item="Figure 3 (ℰ)",
 )
+register_program(
+    "heartbeat",
+    lambda params: HeartbeatMonitorProgram(**params),
+    paper_item="sim-vs-real validation workload (SNIPPETS.md Snippet 1)",
+)
 
 
 # ----------------------------------------------------------------------
@@ -381,6 +387,16 @@ def _check_kv_linearizable(trace, pattern):
 
 
 register_check("kv_linearizable", _check_kv_linearizable)
+
+
+def _check_hb_detection(trace, pattern):
+    """Judge a heartbeat run's detections (lazy import: transport → runtime → here)."""
+    from ..transport.validate import check_hb_detection
+
+    return check_hb_detection(trace, pattern)
+
+
+register_check("hb_detection", _check_hb_detection)
 
 for _name, _checker in (
     ("diamond_p", check_diamond_p),

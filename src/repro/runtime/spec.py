@@ -600,6 +600,8 @@ class ScenarioSpec:
     program_params: Mapping[str, Any] = field(default_factory=dict)
     checks: tuple[str, ...] = ()
     kv: KVSpec | None = None
+    backend: str = "sim"
+    backend_params: Mapping[str, Any] = field(default_factory=dict)
     horizon: float = 500.0
     seed: int = 0
     name: str = ""
@@ -609,6 +611,11 @@ class ScenarioSpec:
         object.__setattr__(self, "checks", tuple(self.checks))
         object.__setattr__(self, "consensus_params", dict(self.consensus_params))
         object.__setattr__(self, "program_params", dict(self.program_params))
+        object.__setattr__(self, "backend_params", dict(self.backend_params))
+        if self.backend not in ("sim", "real"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected 'sim' or 'real'"
+            )
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """A copy of this spec with a different seed (for sweeps)."""
@@ -639,6 +646,11 @@ class ScenarioSpec:
         # existed, so canonical hashes (and hence cache keys) are preserved.
         if self.kv is not None:
             payload["kv"] = self.kv.to_dict()
+        # Same preservation rule for the backend: the sim default serializes
+        # exactly as before the real backend existed.
+        if self.backend != "sim" or self.backend_params:
+            payload["backend"] = self.backend
+            payload["backend_params"] = dict(self.backend_params)
         return payload
 
     @classmethod
@@ -658,6 +670,8 @@ class ScenarioSpec:
             program_params=dict(payload.get("program_params", {})),
             checks=tuple(payload.get("checks", ())),
             kv=KVSpec.from_dict(payload["kv"]) if payload.get("kv") else None,
+            backend=payload.get("backend", "sim"),
+            backend_params=dict(payload.get("backend_params", {})),
             horizon=payload.get("horizon", 500.0),
             seed=payload.get("seed", 0),
             name=payload.get("name", ""),

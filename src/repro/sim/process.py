@@ -27,9 +27,16 @@ and schedules the continuation accordingly.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable
 
+from ..context import (
+    AbstractProcessContext,
+    BlockingRequest,
+    NextSyncStep,
+    ProcessProgram,
+    Sleep,
+    WaitUntil,
+)
 from ..errors import ProcessCrashedError, SimulationError
 from ..identity import Identity, ProcessId
 from .clock import Clock, Time
@@ -42,70 +49,15 @@ __all__ = [
     "Sleep",
     "WaitUntil",
     "NextSyncStep",
+    "BlockingRequest",
     "ProcessProgram",
     "ProcessContext",
     "ProcessRuntime",
 ]
 
 
-# ----------------------------------------------------------------------
-# Blocking requests that tasks may yield
-# ----------------------------------------------------------------------
-@dataclass(frozen=True, slots=True)
-class Sleep:
-    """Suspend the task for ``duration`` simulated time units."""
-
-    duration: Time
-
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise SimulationError("cannot sleep for a negative duration")
-
-
-@dataclass(frozen=True, slots=True)
-class WaitUntil:
-    """Suspend the task until ``predicate()`` becomes true.
-
-    The predicate is re-evaluated whenever a message is delivered to the
-    process and whenever the process is poked (e.g. because an attached
-    detector's output changed).
-    """
-
-    predicate: Callable[[], bool]
-
-
-@dataclass(frozen=True, slots=True)
-class NextSyncStep:
-    """Suspend the task until the next synchronous step boundary (HSS only)."""
-
-
-BlockingRequest = Sleep | WaitUntil | NextSyncStep
-
-
-# ----------------------------------------------------------------------
-# Program interface
-# ----------------------------------------------------------------------
-class ProcessProgram:
-    """Base class for the algorithm run by one process.
-
-    Subclasses override :meth:`setup` to register message handlers and spawn
-    tasks.  Programs of homonymous processes are *identical by construction*
-    (the paper's assumption that homonymous processes execute the same
-    program): any per-process input (such as a proposal value) must be passed
-    explicitly through the constructor by the scenario builder.
-    """
-
-    def setup(self, ctx: "ProcessContext") -> None:
-        """Register handlers and spawn tasks.  Called once when the run starts."""
-        raise NotImplementedError
-
-    def describe(self) -> str:
-        """Short human-readable name used in traces and experiment tables."""
-        return type(self).__name__
-
-
-class ProcessContext:
-    """The program-facing API of one process."""
+class ProcessContext(AbstractProcessContext):
+    """The simulator's program-facing API of one process."""
 
     def __init__(self, runtime: "ProcessRuntime") -> None:
         self._runtime = runtime
@@ -130,19 +82,6 @@ class ProcessContext:
     def random(self) -> random.Random:
         """A per-process deterministic random stream."""
         return self._runtime.rng
-
-    # -- blocking requests ----------------------------------------------
-    def sleep(self, duration: Time) -> Sleep:
-        """Yieldable: suspend for ``duration`` time units (``wait timeout``)."""
-        return Sleep(duration)
-
-    def wait_until(self, predicate: Callable[[], bool]) -> WaitUntil:
-        """Yieldable: suspend until ``predicate()`` holds (``wait until …``)."""
-        return WaitUntil(predicate)
-
-    def next_synchronous_step(self) -> NextSyncStep:
-        """Yieldable: suspend until the next synchronous step boundary."""
-        return NextSyncStep()
 
     # -- communication ---------------------------------------------------
     def broadcast(self, kind: str, **fields: Any) -> None:

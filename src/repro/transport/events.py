@@ -1,0 +1,107 @@
+"""JSONL event logs on a shared monotonic time base.
+
+Every node process (and the orchestrator's fault injector) appends one JSON
+object per line to its own log file.  Timestamps come from
+``time.monotonic()`` — on Linux a *system-wide* clock, so events written by
+different processes on the same host are directly comparable — and are
+reported relative to the run's ``epoch`` (the orchestrator's monotonic
+reading at spawn time, passed to every node), which keeps the numbers small
+and makes ``t_detect − t_fail`` a plain subtraction (Snippet 1 §5: same time
+base for both sides).
+
+Each line carries two clocks:
+
+* ``t_wall`` — epoch-relative wall seconds (the shared base);
+* ``t`` — scenario time units (``(t_wall − t0) / time_scale``), aligned with
+  the simulator's clock so latencies compare 1:1 across backends.
+
+Lines are flushed eagerly (write + flush per event): a node that is
+SIGKILLed mid-run must not take its buffered history with it (§10's
+log-flush edge case — and precisely the event we are here to measure).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["EventLog", "read_events"]
+
+
+class EventLog:
+    """An append-only JSONL event log for one process of one run."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        epoch: float,
+        t0: float = 0.0,
+        time_scale: float = 1.0,
+        node: Any = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.path = Path(path)
+        self.epoch = epoch
+        self.t0 = t0
+        self.time_scale = time_scale
+        self.node = node
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def now_wall(self) -> float:
+        """Epoch-relative wall seconds (the shared monotonic base)."""
+        return time.monotonic() - self.epoch
+
+    def to_units(self, t_wall: float) -> float:
+        """Convert an epoch-relative wall timestamp into scenario time units."""
+        return (t_wall - self.t0) / self.time_scale
+
+    def log(self, event: str, *, t_wall: float | None = None, **fields: Any) -> dict:
+        """Append one event line (flushed immediately) and return it."""
+        t_wall = self.now_wall() if t_wall is None else t_wall
+        entry: dict[str, Any] = {
+            "event": event,
+            "t_wall": round(t_wall, 6),
+            "t": round(self.to_units(t_wall), 6),
+        }
+        if self.node is not None:
+            entry["node"] = self.node
+        entry.update(fields)
+        self._handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        self._handle.flush()
+        return entry
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> Iterator[dict]:
+    """Yield every event of a JSONL log, skipping a torn final line.
+
+    A node killed by the fault injector may die between ``write`` and
+    ``flush``; everything before the torn tail is still valid evidence.
+    """
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                return

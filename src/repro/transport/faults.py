@@ -1,0 +1,81 @@
+"""Fault plans for the real backend.
+
+A :class:`ScenarioSpec`'s crash schedule is declarative data; on the
+simulator it becomes scheduled ``crash()`` events, and here it becomes a
+:class:`FaultPlan` — the concrete list of (node, time, action) injections the
+orchestrator executes against live OS processes.  ``kill`` is a clean crash
+(SIGKILL: no atexit handlers, no flushing — the process is simply gone, the
+closest a POSIX process gets to the paper's crash model); ``suspend`` is
+SIGSTOP, which models a process that stops taking steps but keeps its sockets
+open — the failure mode that distinguishes a timeout-based detector from a
+connection-reset one.
+
+The injector records ``t_fail`` at the moment the signal is actually sent,
+on the same epoch-relative monotonic base as every node log (Snippet 1 §5/§8),
+so detection latency is an honest cross-process subtraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..membership import Membership
+from ..runtime.spec import ScenarioSpec
+
+__all__ = ["FaultAction", "FaultPlan", "fault_plan"]
+
+_ACTIONS = ("kill", "suspend")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled injection against one node."""
+
+    index: int
+    identity: object
+    at: float  # scenario time units after t0
+    action: str = "kill"
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+        if self.at < 0:
+            raise ConfigurationError("a fault cannot be scheduled before t0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every injection of one run, ordered by time."""
+
+    actions: tuple[FaultAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "actions", tuple(sorted(self.actions, key=lambda a: (a.at, a.index)))
+        )
+
+    @property
+    def victims(self) -> tuple[int, ...]:
+        return tuple(action.index for action in self.actions)
+
+
+def fault_plan(spec: ScenarioSpec, membership: Membership) -> FaultPlan:
+    """Resolve a spec's crash schedule into concrete injections."""
+    schedule = spec.crashes.build(membership)
+    action = str(spec.backend_params.get("fault_action", "kill"))
+    actions = []
+    for process in membership.processes:
+        at = schedule.crash_time(process)
+        if at is not None:
+            actions.append(
+                FaultAction(
+                    index=process.index,
+                    identity=membership.identity_of(process),
+                    at=float(at),
+                    action=action,
+                )
+            )
+    return FaultPlan(tuple(actions))

@@ -1,0 +1,78 @@
+"""Length-prefixed JSON framing for the TCP transport.
+
+Every frame on the wire is a 4-byte big-endian payload length followed by the
+UTF-8 JSON encoding of one object.  TCP is a byte stream — without the prefix
+two broadcasts sent back-to-back would arrive glued together (or a large one
+split) and ``json.loads`` on a read chunk would be a correctness lottery.
+
+The functions are deliberately tiny and synchronous-friendly: ``encode_frame``
+returns bytes, ``decode_frames`` incrementally consumes a buffer (usable in
+tests without sockets), and ``read_frame`` is the asyncio reader used by
+nodes and the orchestrator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+__all__ = ["MAX_FRAME_BYTES", "encode_frame", "decode_frames", "read_frame", "FramingError"]
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; a peer announcing more is corrupt
+#: (or hostile) and the connection is dropped instead of buffering gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class FramingError(ValueError):
+    """A frame violated the wire format (oversized or truncated length)."""
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialize one JSON-encodable object into a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frames(buffer: bytearray) -> list[Any]:
+    """Consume every complete frame at the front of ``buffer`` (in place).
+
+    Returns the decoded objects; any trailing partial frame is left in the
+    buffer for the next read.
+    """
+    frames: list[Any] = []
+    while True:
+        if len(buffer) < _LENGTH.size:
+            return frames
+        (length,) = _LENGTH.unpack_from(buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FramingError(f"announced frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        end = _LENGTH.size + length
+        if len(buffer) < end:
+            return frames
+        body = bytes(buffer[_LENGTH.size : end])
+        del buffer[:end]
+        frames.append(json.loads(body.decode("utf-8")))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any | None:
+    """Read exactly one frame, or ``None`` on a clean EOF between frames."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FramingError("connection closed mid-frame") from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"announced frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FramingError("connection closed mid-frame") from error
+    return json.loads(body.decode("utf-8"))

@@ -1,0 +1,170 @@
+"""One node of a real-backend run: ``python -m repro.transport.node``.
+
+The orchestrator spawns N of these as OS subprocesses.  Each node
+
+1. listens on its TCP port and dials every peer (retrying until the full
+   mesh is up — peers come up in arbitrary order);
+2. reports ``node_ready`` to the orchestrator's control socket and waits for
+   the ``start`` frame carrying ``t0``, the common scenario origin on the
+   shared monotonic time base (epoch-relative seconds);
+3. builds its :class:`ProcessProgram` from the registry — the *same* entry a
+   sim run would build — and drives it with the asyncio trampoline
+   (:class:`~repro.transport.context.RealNodeRuntime`);
+4. appends every observable event (``msg_send``/``msg_recv``, ``ctx.record``
+   keys such as ``hb_ping_sent``/``hb_ack_recv``/``declared_dead``,
+   ``decide``) to its JSONL log, each line stamped with both epoch-relative
+   wall seconds and scenario time units;
+5. exits on its own once the horizon elapses (or on a ``stop`` control
+   frame) — unless the fault injector gets it first, which is the point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from .context import RealNodeRuntime
+from .events import EventLog
+from .framing import FramingError, encode_frame, read_frame
+
+__all__ = ["main"]
+
+#: How long a node keeps retrying its outbound dials before giving up.
+MESH_DEADLINE_SECONDS = 20.0
+_RETRY_DELAY = 0.05
+
+
+async def _serve_peer(runtime: RealNodeRuntime, reader: asyncio.StreamReader, writer) -> None:
+    """Feed every frame of one inbound connection to the runtime."""
+    try:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            runtime.deliver_wire(frame)
+    except (FramingError, ConnectionError):
+        return
+    finally:
+        writer.close()
+
+
+async def _dial(host: str, port: int, deadline: float):
+    """Dial one peer, retrying until it is up (or the deadline passes)."""
+    while True:
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            await asyncio.sleep(_RETRY_DELAY)
+
+
+async def _run_node(args: argparse.Namespace) -> int:
+    from ..runtime.registry import PROGRAMS
+
+    identity = json.loads(args.identity)
+    peers = json.loads(args.peers)
+    params = json.loads(args.program_params)
+
+    log = EventLog(
+        args.log,
+        epoch=args.epoch,
+        time_scale=args.time_scale,
+        node={"index": args.index, "identity": identity},
+    )
+    runtime = RealNodeRuntime(
+        index=args.index,
+        identity=identity,
+        log=log,
+        time_scale=args.time_scale,
+        seed=args.seed,
+    )
+
+    server = await asyncio.start_server(
+        lambda r, w: _serve_peer(runtime, r, w), args.host, args.port
+    )
+    deadline = time.monotonic() + MESH_DEADLINE_SECONDS
+    for index, host, port in peers:
+        _reader, writer = await _dial(host, port, deadline)
+        runtime.add_peer(int(index), writer)
+    log.log("node_ready", peers=len(peers))
+
+    control_host, _, control_port = args.control.rpartition(":")
+    control_reader, control_writer = await _dial(control_host, int(control_port), deadline)
+    control_writer.write(encode_frame({"event": "node_ready", "index": args.index}))
+    await control_writer.drain()
+
+    start = await read_frame(control_reader)
+    if not start or start.get("event") != "start":
+        log.log("node_error", error=f"expected start frame, got {start!r}")
+        return 1
+    t0 = float(start["t0"])
+    log.t0 = t0
+
+    # Align the program start on the common origin (t0 is in the future by
+    # the orchestrator's settle margin).
+    await asyncio.sleep(max(0.0, (args.epoch + t0) - time.monotonic()))
+    log.log("node_start", program=args.program)
+    entry = PROGRAMS.resolve(args.program)
+    runtime.start(entry.build(params))
+
+    async def _until_stop_frame() -> None:
+        frame = await read_frame(control_reader)
+        if frame is not None and frame.get("event") == "stop":
+            return
+        await asyncio.sleep(MESH_DEADLINE_SECONDS + args.horizon * args.time_scale)
+
+    horizon_wall = (args.epoch + t0 + args.horizon * args.time_scale) - time.monotonic()
+    stopper = asyncio.ensure_future(_until_stop_frame())
+    try:
+        await asyncio.wait_for(asyncio.shield(stopper), timeout=max(0.0, horizon_wall))
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        stopper.cancel()
+
+    runtime.stop()
+    log.log("node_stop")
+    server.close()
+    control_writer.close()
+    log.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transport.node",
+        description="One node process of a real-backend run (spawned by the orchestrator).",
+    )
+    parser.add_argument("--index", type=int, required=True, help="this node's process index")
+    parser.add_argument("--identity", required=True, help="JSON identity (possibly shared)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True, help="TCP port to listen on")
+    parser.add_argument(
+        "--peers", required=True, help='JSON list of [index, host, port] to dial'
+    )
+    parser.add_argument(
+        "--control", required=True, help="host:port of the orchestrator's control socket"
+    )
+    parser.add_argument(
+        "--epoch", type=float, required=True, help="the run's monotonic-clock epoch"
+    )
+    parser.add_argument(
+        "--time-scale", type=float, default=0.05, help="wall seconds per scenario time unit"
+    )
+    parser.add_argument("--program", required=True, help="PROGRAMS registry name")
+    parser.add_argument("--program-params", default="{}", help="JSON program parameters")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--horizon", type=float, required=True, help="run length in scenario time units"
+    )
+    parser.add_argument("--log", required=True, help="JSONL event log path")
+    args = parser.parse_args(argv)
+    return asyncio.run(_run_node(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""The local orchestrator: N node subprocesses, faults, logs → RunRecord.
+
+:func:`execute_real_spec` is the real backend's twin of
+:func:`repro.runtime.engine.execute_spec`'s sim path: it takes the same
+declarative :class:`ScenarioSpec` (with ``backend="real"``), materialises the
+membership, spawns one ``python -m repro.transport.node`` subprocess per
+process, coordinates a common start time over a control socket, injects the
+spec's crash schedule as OS signals (recording ``t_fail`` on the shared
+monotonic base), collects every node's JSONL log, and synthesizes a
+:class:`~repro.runtime.engine.RunRecord` whose metrics mirror what the
+``hb_detection`` check reports for simulated runs — so a sweep can interleave
+both backends and aggregate their rows with the same code.
+
+Everything runs on localhost.  Multi-host orchestration (ssh fan-out, shared
+log collection) is ROADMAP item 4 territory and deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..runtime.engine import RunRecord
+from ..runtime.spec import ScenarioSpec
+from .events import EventLog, read_events
+from .faults import FaultPlan, fault_plan
+from .framing import encode_frame, read_frame
+from .validate import detection_outcome, median_iqr
+
+__all__ = ["execute_real_spec"]
+
+#: Default wall seconds per scenario time unit (0.05 ⇒ a 20-unit run ≈ 1 s).
+DEFAULT_TIME_SCALE = 0.05
+#: Margin between "all nodes ready" and t0, so every node sees the start frame
+#: and wakes on the common origin.
+DEFAULT_SETTLE_SECONDS = 0.3
+_READY_TIMEOUT = 20.0
+_EXIT_GRACE = 5.0
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _python_path() -> str:
+    """A PYTHONPATH that lets the node subprocess import :mod:`repro`."""
+    import os
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if src_root in existing.split(os.pathsep):
+        return existing
+    return src_root + (os.pathsep + existing if existing else "")
+
+
+def execute_real_spec(spec: ScenarioSpec) -> RunRecord:
+    """Execute one ``backend="real"`` scenario and return its record."""
+    if spec.program is None:
+        raise ConfigurationError("the real backend needs a program workload")
+    return asyncio.run(_orchestrate(spec))
+
+
+async def _orchestrate(spec: ScenarioSpec) -> RunRecord:
+    import json
+    import os
+
+    membership = spec.membership.build()
+    n = membership.size
+    params = dict(spec.backend_params)
+    time_scale = float(params.get("time_scale", DEFAULT_TIME_SCALE))
+    settle = float(params.get("settle", DEFAULT_SETTLE_SECONDS))
+    plan = fault_plan(spec, membership)
+
+    explicit_dir = params.get("log_dir")
+    keep_logs = bool(params.get("keep_logs", explicit_dir is not None))
+    log_dir = Path(explicit_dir) if explicit_dir else Path(
+        tempfile.mkdtemp(prefix="repro-transport-")
+    )
+    log_dir.mkdir(parents=True, exist_ok=True)
+
+    ports = [_free_port() for _ in range(n)]
+    epoch = time.monotonic()
+
+    # -- control socket: nodes report ready, we broadcast start -----------
+    ready: dict[int, asyncio.StreamWriter] = {}
+    all_ready = asyncio.Event()
+
+    async def _control(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        frame = await read_frame(reader)
+        if frame and frame.get("event") == "node_ready":
+            ready[int(frame["index"])] = writer
+            if len(ready) == n:
+                all_ready.set()
+
+    control = await asyncio.start_server(_control, "127.0.0.1", 0)
+    control_port = control.sockets[0].getsockname()[1]
+
+    # -- spawn nodes -------------------------------------------------------
+    identities = [membership.identity_of(process) for process in membership.processes]
+    env = {**os.environ, "PYTHONPATH": _python_path()}
+    procs: list[subprocess.Popen] = []
+    stdio: list = []
+    for index in range(n):
+        peers = [
+            [other, "127.0.0.1", ports[other]] for other in range(n) if other != index
+        ]
+        out = open(log_dir / f"node{index}.out", "w", encoding="utf-8")
+        stdio.append(out)
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.transport.node",
+                    "--index", str(index),
+                    "--identity", json.dumps(identities[index]),
+                    "--port", str(ports[index]),
+                    "--peers", json.dumps(peers),
+                    "--control", f"127.0.0.1:{control_port}",
+                    "--epoch", repr(epoch),
+                    "--time-scale", repr(time_scale),
+                    "--program", spec.program,
+                    "--program-params", json.dumps(dict(spec.program_params)),
+                    "--seed", str(spec.seed),
+                    "--horizon", repr(spec.horizon),
+                    "--log", str(log_dir / f"node{index}.jsonl"),
+                ],
+                env=env,
+                stdout=out,
+                stderr=subprocess.STDOUT,
+            )
+        )
+
+    injector: EventLog | None = None
+    try:
+        try:
+            await asyncio.wait_for(all_ready.wait(), timeout=_READY_TIMEOUT)
+        except asyncio.TimeoutError:
+            dead = [i for i, proc in enumerate(procs) if proc.poll() is not None]
+            raise RuntimeError(
+                f"nodes never reached ready (exited early: {dead}); "
+                f"see {log_dir}/node*.out"
+            ) from None
+
+        t0 = (time.monotonic() - epoch) + settle
+        injector = EventLog(
+            log_dir / "injector.jsonl", epoch=epoch, t0=t0, time_scale=time_scale
+        )
+        injector.log("run_start", t0=round(t0, 6), nodes=n, time_scale=time_scale)
+        start_frame = encode_frame({"event": "start", "t0": t0})
+        for writer in ready.values():
+            writer.write(start_frame)
+            await writer.drain()
+
+        # -- fault injection (t_fail on the shared base, Snippet 1 §8) ----
+        t_fail: dict[int, float] = {}
+        for action in plan.actions:
+            target_wall = epoch + t0 + action.at * time_scale
+            await asyncio.sleep(max(0.0, target_wall - time.monotonic()))
+            proc = procs[action.index]
+            sig = signal.SIGKILL if action.action == "kill" else signal.SIGSTOP
+            if proc.poll() is None:
+                proc.send_signal(sig)
+            entry = injector.log(
+                "fault_injected",
+                victim=action.index,
+                identity=action.identity,
+                action=action.action,
+            )
+            t_fail[action.index] = entry["t"]
+
+        # -- wait for the horizon and self-exits --------------------------
+        deadline = epoch + t0 + spec.horizon * time_scale + _EXIT_GRACE
+        victims = set(plan.victims)
+        while time.monotonic() < deadline:
+            if all(
+                proc.poll() is not None
+                for index, proc in enumerate(procs)
+                if index not in victims
+            ):
+                break
+            await asyncio.sleep(0.05)
+        injector.log("run_end")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in procs:
+            proc.wait()
+        for handle in stdio:
+            handle.close()
+        if injector is not None:
+            injector.close()
+        control.close()
+        await control.wait_closed()
+
+    metrics = _metrics_from_logs(
+        log_dir, membership=membership, plan=plan, t_fail=t_fail, time_scale=time_scale
+    )
+    if keep_logs:
+        metrics["log_dir"] = str(log_dir)
+    record = RunRecord(
+        scenario=spec.name,
+        seed=spec.seed,
+        config=spec.to_dict(),
+        metrics=metrics,
+        digest="",  # real runs are nondeterministic: no dispatch-order digest
+    )
+    if not keep_logs:
+        shutil.rmtree(log_dir, ignore_errors=True)
+    return record
+
+
+def _metrics_from_logs(
+    log_dir: Path,
+    *,
+    membership,
+    plan: FaultPlan,
+    t_fail: dict[int, float],
+    time_scale: float,
+) -> dict:
+    """Fold the node logs into sim-compatible ``hb_detection`` metrics."""
+    victims = set(plan.victims)
+    observer_events: list[dict] = []
+    for process in membership.processes:
+        if process.index in victims:
+            continue
+        observer_events.extend(read_events(log_dir / f"node{process.index}.jsonl"))
+
+    # An identity failed only when every bearer was a victim (homonyms cover
+    # for each other) — the same rule check_hb_detection applies to traces.
+    by_identity: dict = {}
+    for process in membership.processes:
+        by_identity.setdefault(membership.identity_of(process), []).append(process.index)
+    failed_identities = {
+        identity: max(t_fail[index] for index in bearers)
+        for identity, bearers in by_identity.items()
+        if all(index in victims and index in t_fail for index in bearers)
+    }
+
+    latencies: dict[str, float] = {}
+    missed = 0
+    for identity, failed_at in failed_identities.items():
+        outcome = detection_outcome(observer_events, identity, failed_at)
+        if outcome["missed"]:
+            missed += 1
+        else:
+            latencies[repr(identity)] = outcome["latency"]
+    stats = median_iqr(list(latencies.values()))
+    decisions = [e for e in observer_events if e.get("event") == "decide"]
+    return {
+        "backend": "real",
+        "hb_detection_ok": missed == 0,
+        "hb_detection_time": None if stats is None else stats["median"],
+        "hb_detected": len(latencies),
+        "hb_missed": missed,
+        "hb_latencies": latencies,
+        "t_fail": {str(index): when for index, when in sorted(t_fail.items())},
+        "decided": bool(decisions),
+        "time_scale": time_scale,
+        "nodes": membership.size,
+    }

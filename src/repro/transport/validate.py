@@ -1,0 +1,268 @@
+"""The sim-vs-real validation aggregator (pure functions) and trace check.
+
+This module is the shared maths of the harness, deliberately free of sockets
+and subprocesses so every edge case is tier-1 testable:
+
+* :func:`detection_outcome` — first ``declared_dead`` per victim wins;
+  duplicate declarations (several observers, or retransmitted lines) count
+  once; no declaration at all is a *missed* detection;
+* :func:`median_iqr` — median and Tukey quartiles for odd and even trial
+  counts (a single trial's IQR is zero, an empty cell has no statistics);
+* :func:`aggregate_cells` — folds per-trial outcomes into per-
+  ``(backend, hb_interval, hb_timeout)`` cells;
+* :func:`heatmap_csv` / :func:`scatter_csv` — the Snippet 1 §9 CSV shapes
+  (heatmap: rows = ``hb_timeout_ms``, columns = ``hb_interval_ms``, value =
+  median detection latency in ms; scatter: one row per cell with the missed
+  count).  Latencies are measured in scenario time units on both backends and
+  converted to milliseconds with the same ``time_scale`` factor, so the two
+  backends land in directly comparable columns.
+
+It also hosts :func:`check_hb_detection`, the registered ``hb_detection``
+trace check that gives *simulated* heartbeat runs the same
+ok/latency/missed metrics the orchestrator computes from JSONL logs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "detection_outcome",
+    "median_iqr",
+    "aggregate_cells",
+    "heatmap_csv",
+    "scatter_csv",
+    "units_to_ms",
+    "check_hb_detection",
+]
+
+DECLARED_DEAD = "declared_dead"
+
+
+def units_to_ms(units: float, time_scale: float) -> float:
+    """Scenario time units → wall milliseconds at the run's time scale."""
+    return units * time_scale * 1000.0
+
+
+# ----------------------------------------------------------------------
+# Per-trial outcome
+# ----------------------------------------------------------------------
+def detection_outcome(
+    events: Iterable[Mapping[str, Any]],
+    victim_identity: Any,
+    t_fail: float,
+    *,
+    time_key: str = "t",
+) -> dict:
+    """Judge one victim's detection from a stream of event-log entries.
+
+    ``events`` is any iterable of JSONL-style entries (merged across observer
+    nodes); only ``declared_dead`` entries whose ``value`` names the victim's
+    identity count.  The *first* such entry fixes ``t_detect`` — later
+    duplicates (a second observer, or a buggy double declaration) never
+    change the outcome, satisfying the count-once rule.
+
+    Returns ``{"missed", "latency", "t_detect", "declarations"}`` where
+    ``latency = t_detect − t_fail`` (same time base, Snippet 1 §5) and
+    ``declarations`` counts every matching entry (so a test can assert that
+    duplicates were *seen* yet counted once).
+    """
+    t_detect: float | None = None
+    declarations = 0
+    for entry in events:
+        if entry.get("event") != DECLARED_DEAD or entry.get("value") != victim_identity:
+            continue
+        declarations += 1
+        t = float(entry[time_key])
+        if t_detect is None or t < t_detect:
+            t_detect = t
+    if t_detect is None:
+        return {"missed": True, "latency": None, "t_detect": None, "declarations": 0}
+    return {
+        "missed": False,
+        "latency": t_detect - t_fail,
+        "t_detect": t_detect,
+        "declarations": declarations,
+    }
+
+
+# ----------------------------------------------------------------------
+# Cell statistics
+# ----------------------------------------------------------------------
+def median_iqr(values: Sequence[float]) -> dict | None:
+    """Median and Tukey quartiles (median of each half) of a sample.
+
+    Returns ``None`` for an empty sample.  With one value the quartiles
+    collapse onto it (IQR 0); odd sample sizes exclude the middle element
+    from both halves, even sizes split exactly — the textbook convention,
+    chosen so the tier-1 tests can pin exact expected numbers.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 1:
+        q1 = q3 = ordered[0]
+    else:
+        half = n // 2
+        q1 = statistics.median(ordered[:half])
+        q3 = statistics.median(ordered[n - half :])
+    return {
+        "median": statistics.median(ordered),
+        "q1": q1,
+        "q3": q3,
+        "iqr": q3 - q1,
+    }
+
+
+def aggregate_cells(
+    trials: Iterable[Mapping[str, Any]],
+    *,
+    group_by: Sequence[str] = ("backend", "hb_interval", "hb_timeout"),
+) -> list[dict]:
+    """Fold per-trial outcomes into per-cell detection statistics.
+
+    Each trial is ``{*group_by keys, "latency": float | None}`` (``None`` =
+    missed).  A cell whose every trial missed still appears — with
+    ``median/q1/q3/iqr`` set to ``None`` and the missed count telling the
+    story — because an empty heatmap cell is a finding, not a KeyError.
+    """
+    cells: dict[tuple, dict] = {}
+    for trial in trials:
+        key = tuple(trial[name] for name in group_by)
+        cell = cells.setdefault(
+            key,
+            {**{name: trial[name] for name in group_by}, "trials": 0, "missed": 0, "_lat": []},
+        )
+        cell["trials"] += 1
+        if trial.get("latency") is None:
+            cell["missed"] += 1
+        else:
+            cell["_lat"].append(float(trial["latency"]))
+    results = []
+    for key in sorted(cells, key=repr):
+        cell = cells[key]
+        stats = median_iqr(cell.pop("_lat"))
+        cell.update(stats or {"median": None, "q1": None, "q3": None, "iqr": None})
+        results.append(cell)
+    return results
+
+
+# ----------------------------------------------------------------------
+# CSV shapes (Snippet 1 §9)
+# ----------------------------------------------------------------------
+def _ms(value: float | None, time_scale: float) -> str:
+    return "" if value is None else f"{units_to_ms(value, time_scale):.3f}"
+
+
+def heatmap_csv(cells: Sequence[Mapping[str, Any]], *, time_scale: float) -> str:
+    """Rows = ``hb_timeout_ms``, columns = ``hb_interval_ms``, value = median ms.
+
+    Cells with no surviving latency sample render empty (missed-only cells).
+    """
+    intervals = sorted({cell["hb_interval"] for cell in cells})
+    timeouts = sorted({cell["hb_timeout"] for cell in cells})
+    by_key = {(cell["hb_timeout"], cell["hb_interval"]): cell for cell in cells}
+    header = ["hb_timeout_ms"] + [
+        f"{units_to_ms(interval, time_scale):.0f}" for interval in intervals
+    ]
+    lines = [",".join(header)]
+    for timeout in timeouts:
+        row = [f"{units_to_ms(timeout, time_scale):.0f}"]
+        for interval in intervals:
+            cell = by_key.get((timeout, interval))
+            row.append(_ms(None if cell is None else cell["median"], time_scale))
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def scatter_csv(cells: Sequence[Mapping[str, Any]], *, time_scale: float) -> str:
+    """One row per cell: backend, missed, parameters, median and IQR in ms."""
+    header = (
+        "backend,missed,trials,hb_interval_ms,hb_timeout_ms,"
+        "median_detection_ms,iqr_detection_ms"
+    )
+    lines = [header]
+    for cell in cells:
+        lines.append(
+            ",".join(
+                [
+                    str(cell.get("backend", "")),
+                    str(cell["missed"]),
+                    str(cell["trials"]),
+                    f"{units_to_ms(cell['hb_interval'], time_scale):.0f}",
+                    f"{units_to_ms(cell['hb_timeout'], time_scale):.0f}",
+                    _ms(cell["median"], time_scale),
+                    _ms(cell["iqr"], time_scale),
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The sim-side trace check (registered as "hb_detection")
+# ----------------------------------------------------------------------
+def check_hb_detection(trace, pattern):
+    """Judge a simulated heartbeat run exactly like the real-run aggregator.
+
+    An *identity* counts as failed only when every process bearing it crashed
+    (homonyms cover for each other: a surviving namesake keeps ACKing).  For
+    each failed identity the earliest ``declared_dead`` record of any correct
+    process fixes ``t_detect``; a declaration must come *after* the last
+    crash of that identity (a premature declaration is a violation), and a
+    correct process's identity must never be declared at all.
+    """
+    from ..detectors.properties import CheckResult
+
+    crashes = dict(trace.crashes)
+    by_identity: dict[Any, list] = {}
+    for process in pattern.membership.processes:
+        by_identity.setdefault(pattern.membership.identity_of(process), []).append(process)
+    failed_identities = {
+        identity: max(crashes[p] for p in bearers)
+        for identity, bearers in by_identity.items()
+        if all(p in crashes for p in bearers)
+    }
+
+    violations: list[str] = []
+    latencies: dict[Any, float] = {}
+    missed: list[Any] = []
+    for identity, t_fail in failed_identities.items():
+        t_detect: float | None = None
+        for observer in pattern.correct:
+            for record in trace.records_of(observer, DECLARED_DEAD):
+                if record.value != identity:
+                    continue
+                if record.time < t_fail:
+                    violations.append(
+                        f"{observer!r} declared {identity!r} dead at t={record.time} "
+                        f"before its last bearer crashed at t={t_fail}"
+                    )
+                if t_detect is None or record.time < t_detect:
+                    t_detect = record.time
+        if t_detect is None:
+            missed.append(identity)
+        else:
+            latencies[identity] = t_detect - t_fail
+    for observer in pattern.correct:
+        for record in trace.records_of(observer, DECLARED_DEAD):
+            if record.value not in failed_identities:
+                violations.append(
+                    f"{observer!r} declared live identity {record.value!r} dead"
+                )
+    if missed:
+        violations.append(f"missed detections: {sorted(missed, key=repr)!r}")
+
+    stats = median_iqr(list(latencies.values()))
+    return CheckResult(
+        ok=not violations,
+        violations=tuple(violations),
+        stabilization_time=None if stats is None else stats["median"],
+        details={
+            "latencies": {repr(k): v for k, v in latencies.items()},
+            "missed": len(missed),
+            "detected": len(latencies),
+        },
+    )

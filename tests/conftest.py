@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.identity import ProcessId
@@ -40,3 +42,30 @@ def homonymous_six() -> Membership:
 def pid(index: int) -> ProcessId:
     """Shorthand for building process ids in tests."""
     return ProcessId(index)
+
+
+#: Hard wall-clock ceiling for a single ``transport``-marked test.  Real
+#: runs budget a few seconds each; a wedged mesh (a node that never dials
+#: out, a lost control frame) would otherwise hang the whole session.
+TRANSPORT_TEST_TIMEOUT_SECONDS = 120
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Enforce a SIGALRM deadline on transport tests (pytest-timeout is not
+    installed in this environment, so the hook is the timeout)."""
+    marker = item.get_closest_marker("transport")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = int(marker.kwargs.get("timeout", TRANSPORT_TEST_TIMEOUT_SECONDS))
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"transport test exceeded its hard {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,81 @@
+"""Real-backend integration tests (marked ``transport``, excluded from tier-1).
+
+These spawn actual node subprocesses over TCP, so they cost seconds of wall
+clock and are inherently timing-dependent; run them explicitly with
+``pytest -m transport``.  The conftest SIGALRM hook bounds each test hard.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import Engine
+from repro.transport.__main__ import build_heartbeat_spec
+from repro.transport.events import read_events
+
+pytestmark = pytest.mark.transport
+
+_HB_INTERVAL = 1.0
+_HB_TIMEOUT = 3.0
+_FAIL_AT = 6.0
+
+
+def test_real_three_node_run_detects_the_victim(tmp_path):
+    log_dir = tmp_path / "logs"
+    spec = build_heartbeat_spec(
+        nodes=3,
+        hb_interval=_HB_INTERVAL,
+        hb_timeout=_HB_TIMEOUT,
+        fail_at=_FAIL_AT,
+        backend="real",
+        log_dir=str(log_dir),
+    )
+    record = Engine().run(spec)
+    metrics = record.metrics
+
+    assert metrics["backend"] == "real"
+    assert metrics["hb_detection_ok"] is True
+    assert metrics["hb_missed"] == 0
+
+    # detection latency is positive and on the order of hb_timeout:
+    # the Snippet 1 §5 envelope, [timeout − interval, timeout + interval]
+    latency = metrics["hb_detection_time"]
+    assert _HB_TIMEOUT - _HB_INTERVAL <= latency <= _HB_TIMEOUT + _HB_INTERVAL
+
+    # t_fail sits on the shared monotonic base, near the scheduled time
+    (t_fail,) = metrics["t_fail"].values()
+    assert t_fail == pytest.approx(_FAIL_AT, abs=0.5)
+
+    # every node produced a JSONL log; the victim's stops early
+    for index in range(3):
+        path = log_dir / f"node{index}.jsonl"
+        assert path.exists(), path
+        events = list(read_events(path))
+        assert events and all("t_wall" in e and "t" in e for e in events)
+    assert (log_dir / "injector.jsonl").exists()
+
+    # the two observers each declared the victim dead exactly once
+    first_line = json.loads((log_dir / "node2.jsonl").read_text().split("\n", 1)[0])
+    victim = first_line["node"]["identity"]
+    declarations = [
+        entry
+        for index in (0, 1)
+        for entry in read_events(log_dir / f"node{index}.jsonl")
+        if entry["event"] == "declared_dead"
+    ]
+    assert len(declarations) == 2
+    assert all(entry["value"] == victim for entry in declarations)
+    assert all(entry["t"] > t_fail for entry in declarations)
+
+
+def test_real_run_records_are_not_cached(tmp_path):
+    cache_dir = tmp_path / "cache"
+    spec = build_heartbeat_spec(backend="real")
+    engine = Engine(cache=str(cache_dir))
+    first = engine.run(spec)
+    second = engine.run(spec)
+    # two real runs measure two different wall-clock samples — the engine
+    # must not replay the first one from the cache
+    assert first.metrics["hb_detection_time"] != second.metrics["hb_detection_time"]

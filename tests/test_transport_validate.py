@@ -1,0 +1,281 @@
+"""Tier-1 coverage of the transport subsystem's pure parts.
+
+Everything here runs without sockets or subprocesses: the validation
+aggregator's edge cases (missed detections, duplicate declarations, odd and
+even medians, empty cells), the wire framing, the ScenarioSpec backend
+round-trip (including canonical-hash preservation for pre-backend specs),
+the builder's real-backend requirement table, and a *simulated* heartbeat
+run exercising the ``hb_detection`` check end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Engine, scenario
+from repro.runtime.builder import ScenarioValidationError
+from repro.runtime.spec import ScenarioSpec, asynchronous, crashes_at, synchronous
+from repro.transport.__main__ import build_heartbeat_spec
+from repro.transport.framing import (
+    MAX_FRAME_BYTES,
+    FramingError,
+    decode_frames,
+    encode_frame,
+)
+from repro.transport.validate import (
+    aggregate_cells,
+    detection_outcome,
+    heatmap_csv,
+    median_iqr,
+    scatter_csv,
+)
+
+
+# ----------------------------------------------------------------------
+# detection_outcome
+# ----------------------------------------------------------------------
+def _dead(identity, t):
+    return {"event": "declared_dead", "value": identity, "t": t}
+
+
+def test_detection_outcome_missed_when_no_declaration():
+    events = [{"event": "hb_ping_sent", "t": 1.0}, _dead("B", 8.0)]
+    outcome = detection_outcome(events, "A", 6.0)
+    assert outcome == {"missed": True, "latency": None, "t_detect": None, "declarations": 0}
+
+
+def test_detection_outcome_first_declaration_wins_duplicates_counted_once():
+    events = [_dead("A", 9.0), _dead("A", 8.4), _dead("A", 11.0)]
+    outcome = detection_outcome(events, "A", 6.0)
+    assert outcome["missed"] is False
+    assert outcome["t_detect"] == 8.4  # earliest, regardless of log order
+    assert outcome["latency"] == pytest.approx(2.4)
+    # duplicates are *seen* (three declarations) yet fix one outcome
+    assert outcome["declarations"] == 3
+
+
+def test_detection_outcome_ignores_other_identities():
+    outcome = detection_outcome([_dead("B", 7.0)], "A", 6.0)
+    assert outcome["missed"] is True
+
+
+# ----------------------------------------------------------------------
+# median_iqr
+# ----------------------------------------------------------------------
+def test_median_iqr_empty_sample_is_none():
+    assert median_iqr([]) is None
+
+
+def test_median_iqr_single_value_collapses():
+    assert median_iqr([5.0]) == {"median": 5.0, "q1": 5.0, "q3": 5.0, "iqr": 0.0}
+
+
+def test_median_iqr_odd_count_excludes_middle():
+    stats = median_iqr([5.0, 1.0, 3.0, 2.0, 4.0])
+    assert stats["median"] == 3.0
+    assert stats["q1"] == 1.5  # median of [1, 2]
+    assert stats["q3"] == 4.5  # median of [4, 5]
+    assert stats["iqr"] == 3.0
+
+
+def test_median_iqr_even_count_splits_exactly():
+    stats = median_iqr([4.0, 1.0, 2.0, 3.0])
+    assert stats["median"] == 2.5
+    assert stats["q1"] == 1.5
+    assert stats["q3"] == 3.5
+    assert stats["iqr"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# aggregate_cells / CSV shapes
+# ----------------------------------------------------------------------
+def _trial(backend, interval, timeout, latency):
+    return {"backend": backend, "hb_interval": interval, "hb_timeout": timeout, "latency": latency}
+
+
+def test_aggregate_cells_keeps_all_missed_cells():
+    trials = [
+        _trial("real", 1.0, 3.0, 3.1),
+        _trial("real", 1.0, 3.0, 2.9),
+        _trial("real", 1.0, 6.0, None),
+        _trial("real", 1.0, 6.0, None),
+    ]
+    cells = aggregate_cells(trials)
+    assert len(cells) == 2
+    detected = next(c for c in cells if c["hb_timeout"] == 3.0)
+    missed = next(c for c in cells if c["hb_timeout"] == 6.0)
+    assert detected["trials"] == 2 and detected["missed"] == 0
+    assert detected["median"] == pytest.approx(3.0)
+    # an all-missed cell still appears, with the statistics nulled out
+    assert missed == {
+        "backend": "real",
+        "hb_interval": 1.0,
+        "hb_timeout": 6.0,
+        "trials": 2,
+        "missed": 2,
+        "median": None,
+        "q1": None,
+        "q3": None,
+        "iqr": None,
+    }
+
+
+def test_aggregate_cells_mixed_missed_uses_surviving_latencies():
+    trials = [
+        _trial("sim", 1.0, 3.0, 3.0),
+        _trial("sim", 1.0, 3.0, None),
+        _trial("sim", 1.0, 3.0, 3.4),
+    ]
+    (cell,) = aggregate_cells(trials)
+    assert cell["trials"] == 3 and cell["missed"] == 1
+    assert cell["median"] == pytest.approx(3.2)
+
+
+def test_heatmap_csv_renders_missed_cells_empty():
+    cells = aggregate_cells(
+        [
+            _trial("real", 1.0, 3.0, 3.0),
+            _trial("real", 2.0, 3.0, 3.5),
+            _trial("real", 1.0, 6.0, None),
+            _trial("real", 2.0, 6.0, 6.2),
+        ]
+    )
+    text = heatmap_csv(cells, time_scale=0.05)
+    lines = text.strip().split("\n")
+    assert lines[0] == "hb_timeout_ms,50,100"
+    assert lines[1] == "150,150.000,175.000"
+    assert lines[2] == "300,,310.000"  # the missed cell is an empty field
+
+
+def test_scatter_csv_has_one_row_per_cell_with_missed_counts():
+    cells = aggregate_cells(
+        [_trial("sim", 1.0, 3.0, 3.0), _trial("real", 1.0, 3.0, None)]
+    )
+    text = scatter_csv(cells, time_scale=0.05)
+    lines = text.strip().split("\n")
+    assert lines[0] == (
+        "backend,missed,trials,hb_interval_ms,hb_timeout_ms,"
+        "median_detection_ms,iqr_detection_ms"
+    )
+    assert "real,1,1,50,150,," in lines
+    assert "sim,0,1,50,150,150.000,0.000" in lines
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_framing_round_trip_and_partial_buffer():
+    first = {"kind": "HB_PING", "payload": {"n": 1}}
+    second = {"kind": "HB_ACK", "payload": {"n": 2}}
+    wire = encode_frame(first) + encode_frame(second)
+    buffer = bytearray()
+    decoded = []
+    # feed the stream one byte at a time: frames appear only when complete
+    for offset in range(len(wire)):
+        buffer.extend(wire[offset : offset + 1])
+        decoded.extend(decode_frames(buffer))
+    assert decoded == [first, second]
+    assert not buffer  # fully consumed
+
+
+def test_framing_rejects_oversized_frames():
+    header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(FramingError):
+        decode_frames(bytearray(header + b"x"))
+
+
+# ----------------------------------------------------------------------
+# spec round-trip and builder validation
+# ----------------------------------------------------------------------
+def test_sim_spec_to_dict_omits_backend_keys():
+    spec = build_heartbeat_spec(backend="sim")
+    payload = spec.to_dict()
+    assert "backend" not in payload and "backend_params" not in payload
+    # …so canonical hashes of pre-backend specs are preserved, and the
+    # round-trip still defaults correctly:
+    assert ScenarioSpec.from_dict(payload).backend == "sim"
+
+
+def test_real_spec_round_trips_backend_params():
+    spec = build_heartbeat_spec(backend="real", time_scale=0.02, log_dir="/tmp/x")
+    payload = spec.to_dict()
+    assert payload["backend"] == "real"
+    restored = ScenarioSpec.from_dict(payload)
+    assert restored.backend == "real"
+    assert restored.backend_params == {"time_scale": 0.02, "log_dir": "/tmp/x"}
+    assert restored.canonical_hash() == spec.canonical_hash()
+
+
+def test_unknown_backend_is_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="backend"):
+        _real_builder().program("heartbeat").backend("quantum").build()
+
+
+def _real_builder(n: int = 3):
+    return (
+        scenario("real-validation")
+        .processes(n)
+        .unique_ids()
+        .timing(asynchronous(min_latency=0.005, max_latency=0.05))
+        .crashes(crashes_at({n - 1: 6.0}))
+        .backend("real")
+        .horizon(15.0)
+    )
+
+
+def test_real_backend_requires_a_program():
+    # a consensus workload satisfies the generic "needs a workload" check,
+    # so the failure is specifically the real backend's program requirement
+    with pytest.raises(ScenarioValidationError, match="message-passing programs"):
+        _real_builder(5).detectors("HOmega", "HSigma").consensus("homega_hsigma").build()
+
+
+def test_real_backend_rejects_consensus():
+    with pytest.raises(ScenarioValidationError, match="consensus or KV"):
+        (
+            _real_builder(5)
+            .program("heartbeat")
+            .detectors("HOmega", "HSigma")
+            .consensus("homega_hsigma")
+            .build()
+        )
+
+
+def test_real_backend_rejects_detector_oracles():
+    with pytest.raises(ScenarioValidationError, match="omniscient"):
+        _real_builder().program("heartbeat").detectors("HOmega").build()
+
+
+def test_real_backend_rejects_synchronous_timing():
+    with pytest.raises(ScenarioValidationError, match="synchronous rounds"):
+        (
+            scenario("real-hss")
+            .processes(3)
+            .unique_ids()
+            .timing(synchronous())
+            .program("heartbeat")
+            .backend("real")
+            .build()
+        )
+
+
+# ----------------------------------------------------------------------
+# the hb_detection check, end to end on the simulator
+# ----------------------------------------------------------------------
+def test_sim_heartbeat_run_detects_the_victim():
+    spec = build_heartbeat_spec(nodes=3, hb_interval=1.0, hb_timeout=3.0, fail_at=6.0)
+    record = Engine().run(spec)
+    assert record.metrics["hb_detection_ok"] is True
+    latency = record.metrics["hb_detection_time"]
+    # Snippet 1 §5: detection latency lands within one interval of the timeout
+    assert 3.0 - 1.0 <= latency <= 3.0 + 1.0
+
+
+def test_sim_heartbeat_run_is_deterministic():
+    spec = build_heartbeat_spec(seed=7)
+    first = Engine().run(spec)
+    second = Engine().run(spec)
+    assert first.digest == second.digest
+    assert first.metrics["hb_detection_time"] == second.metrics["hb_detection_time"]
