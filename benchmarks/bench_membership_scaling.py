@@ -1,0 +1,116 @@
+"""Sparse-monitoring scaling benchmarks: ring/gossip at n=100 and n=1,000.
+
+Each row runs one deterministic E12-style detection scenario end to end
+(build → simulate → check) and tracks wall time plus ns per delivered message
+copy.  Together with ``membership_fullmesh_n100_1round`` — a *single* round
+of the quadratic full-mesh monitor at the same scale — the committed rows
+pin the O(n·k) vs O(n²) claim as a perf trajectory: the mesh burns ≈ n²
+copies in one round while the ring completes a whole multi-round detection
+scenario in a similar copy budget.
+
+The rows carry ``msgs_per_proc_round`` so the baseline doubles as a recorded
+data point of the scaling table (compare E12's summary).
+
+Run explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_membership_scaling.py \
+        -q --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Engine, asynchronous, crashes_at, scenario
+
+_HB_INTERVAL = 1.0
+
+
+def _detection_spec(mode: str, n: int, degree: int, hb_timeout: float):
+    horizon = 10.0 + hb_timeout + 5.0 * _HB_INTERVAL + 3.0
+    key = "successors" if mode == "ring" else "fanout"
+    return (
+        scenario(f"bench-{mode}-n{n}")
+        .processes(n)
+        .unique_ids()
+        .timing(asynchronous(min_latency=0.01, max_latency=0.2))
+        .crashes(crashes_at({n - 1: 10.0}))
+        .program("heartbeat", hb_interval=_HB_INTERVAL, hb_timeout=hb_timeout)
+        .topology(mode, **{key: degree})
+        .check("topo_detection")
+        .horizon(horizon)
+        .seed(0)
+        .build()
+    )
+
+
+def _bench_sparse(benchmark, key: str, mode: str, n: int, degree: int, hb_timeout: float):
+    spec = _detection_spec(mode, n, degree, hb_timeout)
+    outcomes = []
+
+    def _round():
+        outcomes.append(Engine().run(spec).metrics)
+
+    benchmark.pedantic(_round, rounds=3, iterations=1)
+    metrics = outcomes[-1]
+    assert metrics["topo_detection_ok"], metrics
+    copies = metrics["topo_detection_copies_sent"]
+    rounds = metrics["topo_detection_end_time"] / _HB_INTERVAL
+    benchmark.extra_info["bench_core_key"] = key
+    benchmark.extra_info["events_per_round"] = copies
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["msgs_per_proc_round"] = round(copies / n / rounds, 3)
+
+
+def test_membership_ring_n100(benchmark):
+    """Whole ring detection scenario at n=100 (k=3 successors)."""
+    _bench_sparse(benchmark, "membership_ring_n100", "ring", 100, 3, 6.0)
+
+
+def test_membership_ring_n1000(benchmark):
+    """The headline scale: ring detection at n=1,000, still O(n·k)."""
+    _bench_sparse(benchmark, "membership_ring_n1000", "ring", 1000, 3, 6.0)
+
+
+def test_membership_gossip_n1000(benchmark):
+    """Gossip diffusion at n=1,000 (fanout 3).
+
+    The staleness timeout must cover the diffusion depth — a counter bump
+    reaches the whole system in ≈ log₃(n) + tail rounds, so n=1,000 needs a
+    longer window (12 intervals) than n≤100 (8) to stay suspicion-free.
+    """
+    _bench_sparse(benchmark, "membership_gossip_n1000", "gossip", 1000, 3, 12.0)
+
+
+def test_membership_fullmesh_n100_1round(benchmark):
+    """ONE round of the quadratic mesh at n=100 — the comparison yardstick.
+
+    The horizon is shorter than ``hb_interval``, so every process broadcasts
+    exactly one ping and answers each received ping with one broadcast ACK:
+    ≈ n² + n²·(n−1) copies, no detection.  This is the per-round budget the
+    sparse topologies replace.
+    """
+    spec = (
+        scenario("bench-mesh-n100-1round")
+        .processes(100)
+        .unique_ids()
+        .timing(asynchronous(min_latency=0.01, max_latency=0.2))
+        .program("heartbeat", hb_interval=_HB_INTERVAL, hb_timeout=6.0)
+        .check("hb_detection")
+        .horizon(0.9 * _HB_INTERVAL)
+        .seed(0)
+        .build()
+    )
+    outcomes = []
+
+    def _round():
+        outcomes.append(Engine().run(spec).metrics)
+
+    benchmark.pedantic(_round, rounds=3, iterations=1)
+    metrics = outcomes[-1]
+    copies = metrics["hb_detection_copies_sent"]
+    assert copies >= 100 * 99, metrics  # at least the ping volley went out
+    benchmark.extra_info["bench_core_key"] = "membership_fullmesh_n100_1round"
+    benchmark.extra_info["events_per_round"] = copies
+    benchmark.extra_info["mode"] = "full_mesh"
+    benchmark.extra_info["n"] = 100
+    benchmark.extra_info["msgs_per_proc_round"] = round(copies / 100, 3)

@@ -69,9 +69,18 @@ def pytest_sessionfinish(session, exitstatus):
             entry["runs_per_round"] = runs
             entry["runs_per_second"] = runs / median_seconds
         # Wall-clock rows (the real transport backend) carry their own
-        # regression budget and the measured detection latency; pass those
-        # through so compare_bench.py can gate each row on its own terms.
-        for passthrough in ("kind", "max_regression_pct", "median_detection_ms"):
+        # regression budget and the measured detection latency; topology
+        # scaling rows carry their scale and per-process load.  Pass those
+        # through so compare_bench.py can gate each row on its own terms and
+        # the baseline doubles as a recorded data point.
+        for passthrough in (
+            "kind",
+            "max_regression_pct",
+            "median_detection_ms",
+            "mode",
+            "n",
+            "msgs_per_proc_round",
+        ):
             if passthrough in extra:
                 entry[passthrough] = extra[passthrough]
         entries[key] = entry

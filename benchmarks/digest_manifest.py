@@ -1,10 +1,11 @@
-"""Determinism-digest manifest over the quick E1–E10 sweeps.
+"""Determinism-digest manifest over the quick deterministic experiments (E1–E12).
 
 Runs every experiment in quick mode while capturing the determinism digest of
 each underlying simulation, then prints one folded 64-bit digest per
 experiment plus two manifest digests: ``ALL`` folds the historical E1–E9
 core (frozen so manifests saved before the KV workload landed keep
-matching), and ``FULL`` folds every registered experiment including E10.
+matching), and ``FULL`` folds every registered deterministic experiment
+(E10, E12, and whatever lands next fold in here without moving ``ALL``).
 
 Two builds of the simulator that print the same manifest dispatched exactly
 the same events, in the same order, for every run of every quick experiment —

@@ -17,6 +17,25 @@ SNIPPETS.md Snippet 1):
 Membership is unknown (the paper's setting): peers are discovered from the
 ``HB_PING`` traffic itself, and a peer's liveness clock starts at discovery.
 
+Since the monitoring-topology layer (:mod:`repro.topology`), the same program
+also runs in two sparse modes, selected by passing a topology to the
+constructor (the engine injects it for non-full-mesh scenarios):
+
+* **ring** — each process pings only its ``k`` ring successors over its local
+  alive view and ACKs go back *unicast*; a declaration shrinks the view, so
+  survivors adopt new successors (*ring repair*) with a fresh timeout window.
+  Per-round load drops from n² pings + n³ ACK copies to ≈ 2·n·k copies.
+* **gossip** — no pings at all: each period the process bumps its own
+  heartbeat counter and diffuses its whole counter table to ``fanout``
+  seeded-random peers; counters that stop rising for ``hb_timeout`` are
+  declared dead.  Load is ≈ n·fanout table messages per period.
+
+The sparse modes address peers by *index* (the transport-level address a
+topology computes over) rather than by identity, so declarations are recorded
+as indices; the ``topo_detection`` check consumes those.  The historical
+full-mesh path is untouched — byte-identical broadcasts, records, and RNG
+usage — which is what keeps every pre-topology digest stable.
+
 The program speaks only the :class:`~repro.context.AbstractProcessContext`
 protocol, so the *same object* runs on the discrete-event simulator and on
 the asyncio/TCP transport backend.  Detection events are emitted through
@@ -38,7 +57,7 @@ DECLARED_DEAD = "declared_dead"
 
 
 class HeartbeatMonitorProgram(ProcessProgram):
-    """Full-mesh heartbeat monitoring: every process pings and watches everyone."""
+    """Heartbeat monitoring: full mesh by default, ring/gossip via a topology."""
 
     def __init__(
         self,
@@ -46,6 +65,9 @@ class HeartbeatMonitorProgram(ProcessProgram):
         hb_interval: float = 1.0,
         hb_timeout: float = 3.0,
         record_pings: bool = False,
+        topology: Any = None,
+        index: int | None = None,
+        peers: tuple[int, ...] = (),
     ) -> None:
         if hb_interval <= 0:
             raise ValueError("hb_interval must be positive")
@@ -54,6 +76,20 @@ class HeartbeatMonitorProgram(ProcessProgram):
         self._hb_interval = hb_interval
         self._hb_timeout = hb_timeout
         self._record_pings = record_pings
+        if topology is not None and topology.is_full_mesh:
+            topology = None  # explicit full mesh == the historical default
+        self._topology = topology
+        self._index = index
+        self._peers = tuple(peers)
+        if topology is not None:
+            if index is None or not self._peers:
+                raise ValueError(
+                    "a sparse topology needs the process index and the peer "
+                    "index list (the engine injects both)"
+                )
+            self._mode = topology.kind
+        else:
+            self._mode = "full_mesh"
 
         #: identity -> time of the last HB_ACK addressed to us from it
         #: (initialised to the discovery time, the grace period of §4).
@@ -61,12 +97,38 @@ class HeartbeatMonitorProgram(ProcessProgram):
         #: identities already declared dead (the single-declare flags).
         self.dead: set[Identity] = set()
 
+        # -- sparse-mode state (indices, not identities) -------------------
+        #: indices this process still believes alive (including itself).
+        self.alive: list[int] = sorted(self._peers)
+        #: indices already declared dead.
+        self.dead_indices: set[int] = set()
+        #: index -> time of the last unicast HB_ACK from it (ring mode).
+        self.last_ack_at: dict[int, float] = {}
+        #: index -> time we started (re)watching it; a freshly adopted
+        #: successor gets a full timeout window before it can be declared.
+        self.watch_since: dict[int, float] = {}
+        #: index -> highest heartbeat counter seen (gossip mode).
+        self.counters: dict[int, int] = {}
+        #: index -> time its counter last rose (gossip mode).
+        self.last_bump: dict[int, float] = {}
+
     # ------------------------------------------------------------------
     def setup(self, ctx: AbstractProcessContext) -> None:
+        if self._mode == "ring":
+            ctx.on("HB_PING", lambda msg: self._on_ring_ping(ctx, msg))
+            ctx.on("HB_ACK", lambda msg: self._on_ring_ack(ctx, msg))
+            ctx.spawn(lambda: self._ring_monitor_task(ctx), name="hb-ring-monitor")
+            return
+        if self._mode == "gossip":
+            ctx.on("GOSSIP", lambda msg: self._on_gossip(ctx, msg))
+            ctx.spawn(lambda: self._gossip_task(ctx), name="hb-gossip")
+            return
         ctx.on("HB_PING", lambda msg: self._on_ping(ctx, msg))
         ctx.on("HB_ACK", lambda msg: self._on_ack(ctx, msg))
         ctx.spawn(lambda: self._monitor_task(ctx), name="hb-monitor")
 
+    # ------------------------------------------------------------------
+    # Full mesh (the historical, digest-frozen path)
     # ------------------------------------------------------------------
     def _monitor_task(self, ctx: AbstractProcessContext):
         while True:
@@ -85,7 +147,6 @@ class HeartbeatMonitorProgram(ProcessProgram):
                 self.dead.add(identity)
                 ctx.record(DECLARED_DEAD, identity)
 
-    # ------------------------------------------------------------------
     def _on_ping(self, ctx: AbstractProcessContext, message: Any) -> None:
         pinger = message["identity"]
         self._discover(ctx, pinger)
@@ -106,8 +167,96 @@ class HeartbeatMonitorProgram(ProcessProgram):
         if identity != ctx.identity and identity not in self.last_ack:
             self.last_ack[identity] = ctx.now
 
+    # ------------------------------------------------------------------
+    # Ring mode: ping the k successors, ACK unicast, repair on declare
+    # ------------------------------------------------------------------
+    def monitor_targets(self) -> tuple[int, ...]:
+        """The successors this process currently watches (its alive view)."""
+        return self._topology.monitor_targets(self._index, self.alive)
+
+    def _ring_monitor_task(self, ctx: AbstractProcessContext):
+        while True:
+            targets = self.monitor_targets()
+            now = ctx.now
+            for target in targets:
+                if target not in self.watch_since:
+                    self.watch_since[target] = now
+            if targets:
+                ctx.multicast("HB_PING", targets, frm=self._index)
+                if self._record_pings:
+                    ctx.record("hb_ping_sent", list(targets))
+            yield ctx.sleep(self._hb_interval)
+            self._check_ring_timeouts(ctx, targets)
+
+    def _check_ring_timeouts(self, ctx: AbstractProcessContext, targets) -> None:
+        now = ctx.now
+        for target in targets:
+            if target in self.dead_indices:
+                continue
+            seen = self.last_ack_at.get(target, self.watch_since.get(target, now))
+            if now - seen >= self._hb_timeout:
+                self._declare_index_dead(ctx, target)
+
+    def _declare_index_dead(self, ctx: AbstractProcessContext, target: int) -> None:
+        self.dead_indices.add(target)
+        ctx.record(DECLARED_DEAD, target)
+        if target in self.alive:
+            self.alive.remove(target)
+        # The next monitor round recomputes successors over the shrunken
+        # view (ring repair); newly adopted targets start a fresh window
+        # through watch_since (set at adoption, not here).
+        self.watch_since.pop(target, None)
+
+    def _on_ring_ping(self, ctx: AbstractProcessContext, message: Any) -> None:
+        pinger = message["frm"]
+        ctx.multicast("HB_ACK", (pinger,), frm=self._index)
+
+    def _on_ring_ack(self, ctx: AbstractProcessContext, message: Any) -> None:
+        responder = message["frm"]
+        self.last_ack_at[responder] = ctx.now
+        if self._record_pings:
+            ctx.record("hb_ack_recv", responder)
+
+    # ------------------------------------------------------------------
+    # Gossip mode: diffuse the counter table, declare on staleness
+    # ------------------------------------------------------------------
+    def _gossip_task(self, ctx: AbstractProcessContext):
+        now = ctx.now
+        for peer in self.alive:
+            self.counters.setdefault(peer, 0)
+            self.last_bump.setdefault(peer, now)
+        while True:
+            self.counters[self._index] += 1
+            self.last_bump[self._index] = ctx.now
+            targets = self._topology.gossip_targets(self._index, self.alive, ctx.random)
+            if targets:
+                ctx.multicast(
+                    "GOSSIP", targets, frm=self._index, counters=dict(self.counters)
+                )
+            yield ctx.sleep(self._hb_interval)
+            self._check_gossip_staleness(ctx)
+
+    def _check_gossip_staleness(self, ctx: AbstractProcessContext) -> None:
+        now = ctx.now
+        for peer in tuple(self.alive):
+            if peer == self._index or peer in self.dead_indices:
+                continue
+            if now - self.last_bump[peer] >= self._hb_timeout:
+                self._declare_index_dead(ctx, peer)
+
+    def _on_gossip(self, ctx: AbstractProcessContext, message: Any) -> None:
+        now = ctx.now
+        for peer, counter in message["counters"].items():
+            if peer in self.dead_indices:
+                continue  # declarations are final; stale rumours cannot revive
+            if counter > self.counters.get(peer, -1):
+                self.counters[peer] = counter
+                self.last_bump[peer] = now
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
+        mode = "" if self._mode == "full_mesh" else f", {self._mode}"
         return (
             f"heartbeat monitor (interval={self._hb_interval}, "
-            f"timeout={self._hb_timeout})"
+            f"timeout={self._hb_timeout}{mode})"
         )

@@ -144,6 +144,18 @@ class AbstractProcessContext:
         """Broadcast ``⟨kind, fields…⟩`` to every process, including the sender."""
         raise NotImplementedError
 
+    def multicast(self, kind: str, targets: Any, **fields: Any) -> None:
+        """Send ``⟨kind, fields…⟩`` to the processes at the given *indices* only.
+
+        ``targets`` is an iterable of process indices (the transport-level
+        addresses; a monitoring topology's target sets).  Unlike
+        :meth:`broadcast`, the sender only receives its own message if its own
+        index is among the targets.  Sparse monitoring topologies are built on
+        this; paper-figure algorithms keep using :meth:`broadcast`, matching
+        their pseudo-code.
+        """
+        raise NotImplementedError
+
     def on(self, kind: str, handler: Callable[[Any], None]) -> None:
         """Register an "upon reception of ⟨kind, …⟩" handler."""
         raise NotImplementedError

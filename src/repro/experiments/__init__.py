@@ -17,6 +17,7 @@ from . import (
     e8_stacked_consensus,
     e9_fault_envelope,
     e10_kv_service,
+    e12_membership_scaling,
 )
 from .e1_ohp_convergence import run as run_e1
 from .e2_hsigma_sync import run as run_e2
@@ -29,6 +30,7 @@ from .e8_stacked_consensus import run as run_e8
 from .e9_fault_envelope import run as run_e9
 from .e10_kv_service import run as run_e10
 from .e11_sim_vs_real import run as run_e11
+from .e12_membership_scaling import run as run_e12
 
 from ..runtime.registry import EXPERIMENTS, register_experiment
 
@@ -43,6 +45,7 @@ ALL_EXPERIMENTS = {
     "E8": run_e8,
     "E9": run_e9,
     "E10": run_e10,
+    "E12": run_e12,
 }
 
 #: Experiments that measure wall-clock behaviour (the real transport
@@ -72,4 +75,5 @@ __all__ = [
     "run_e9",
     "run_e10",
     "run_e11",
+    "run_e12",
 ]

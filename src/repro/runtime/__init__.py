@@ -80,6 +80,7 @@ from .spec import (
     NetworkSpec,
     ScenarioSpec,
     TimingSpec,
+    TopologySpec,
     canonical_spec_hash,
     asymmetric,
     asynchronous,
@@ -88,6 +89,8 @@ from .spec import (
     crashes_at,
     duplicating,
     fraction,
+    full_mesh,
+    gossip,
     jittered,
     leaders,
     lossy,
@@ -96,6 +99,7 @@ from .spec import (
     partial_sync,
     partitioned,
     reliable,
+    ring,
     synchronous,
 )
 
@@ -123,6 +127,7 @@ __all__ = [
     "ScenarioValidationError",
     "SerialExecutor",
     "TimingSpec",
+    "TopologySpec",
     "WorkerPool",
     "asymmetric",
     "asynchronous",
@@ -137,6 +142,8 @@ __all__ = [
     "execute_spec",
     "executor_for",
     "fraction",
+    "full_mesh",
+    "gossip",
     "jittered",
     "leaders",
     "lossy",
@@ -151,6 +158,7 @@ __all__ = [
     "register_link",
     "register_program",
     "reliable",
+    "ring",
     "run_once",
     "run_with_digest_capture",
     "scenario",

@@ -51,6 +51,7 @@ from .spec import (
     NetworkSpec,
     ScenarioSpec,
     TimingSpec,
+    TopologySpec,
     no_crashes,
 )
 
@@ -82,6 +83,7 @@ class ScenarioBuilder:
         self._program: str | None = None
         self._program_params: dict[str, Any] = {}
         self._kv: KVSpec | None = None
+        self._topology: TopologySpec = TopologySpec()
         self._checks: list[str] = []
         self._backend: str = "sim"
         self._backend_params: dict[str, Any] = {}
@@ -216,6 +218,26 @@ class ScenarioBuilder:
         self._kv = spec if spec is not None else KVSpec(**options)
         return self
 
+    def topology(self, spec: TopologySpec | str, **params: Any) -> "ScenarioBuilder":
+        """Set the monitoring topology: who monitors whom.
+
+        Pass a pre-built :class:`TopologySpec` (see :func:`full_mesh`,
+        :func:`ring`, :func:`gossip` in :mod:`repro.runtime.spec`) or a kind
+        name plus its parameters (``.topology("ring", successors=3)``).  The
+        default is the historical full mesh; sparse topologies are only valid
+        for programs that declare themselves topology-aware.
+        """
+        if isinstance(spec, TopologySpec):
+            if params:
+                raise ScenarioValidationError(
+                    "pass either a pre-built TopologySpec or a kind name with "
+                    "keyword parameters, not both"
+                )
+            self._topology = spec
+        else:
+            self._topology = TopologySpec(spec, params)
+        return self
+
     def check(self, *names: str) -> "ScenarioBuilder":
         """Evaluate detector property checkers over the finished trace."""
         self._checks.extend(names)
@@ -284,6 +306,7 @@ class ScenarioBuilder:
             program_params=dict(self._program_params),
             checks=tuple(self._checks),
             kv=self._kv,
+            topology=self._topology,
             backend=self._backend,
             backend_params=dict(self._backend_params),
             horizon=self._horizon,
@@ -350,6 +373,9 @@ def validate_spec(spec: ScenarioSpec) -> None:
             "detector-implementation program, a KV service (.kv()), or a "
             "stacked combination"
         )
+
+    if not spec.topology.is_full_mesh:
+        _validate_sparse_topology(spec)
 
     violation = _network_envelope_violation(spec)
     if violation is not None and not spec.adversarial:
@@ -429,6 +455,39 @@ def validate_spec(spec: ScenarioSpec) -> None:
         )
 
 
+def _validate_sparse_topology(spec: ScenarioSpec) -> None:
+    """What a sparse (non-full-mesh) monitoring topology can drive.
+
+    Topologies reshape *monitoring traffic*: which peers a program pings and
+    who hears its heartbeats.  Only programs that declare themselves
+    topology-aware draw targets from the topology — the paper-figure
+    algorithms (Figures 3–9) are specified as broadcast protocols whose
+    correctness arguments count replies from the full membership, so thinning
+    their traffic would change the algorithm, not the topology.  Consensus
+    and the KV workload are likewise full-membership protocols.
+    """
+    topo = spec.topology.build()
+    if spec.program is None:
+        raise ScenarioValidationError(
+            f"a {topo.describe()} topology reshapes monitoring traffic, so the "
+            "scenario needs a monitoring program: pick a topology-aware one "
+            "with .program(...) (e.g. 'heartbeat' or 'membership')"
+        )
+    program_entry = PROGRAMS.resolve(spec.program)
+    if not program_entry.topology_aware:
+        raise ScenarioValidationError(
+            f"program {spec.program!r} ({program_entry.paper_item}) is a "
+            "broadcast protocol whose correctness argument needs the full "
+            f"membership; it cannot run under a {topo.describe()} topology"
+        )
+    if spec.consensus is not None or spec.kv is not None:
+        raise ScenarioValidationError(
+            "consensus and KV workloads are full-membership protocols; a "
+            f"{topo.describe()} topology only applies to monitoring programs — "
+            "drop .consensus()/.kv() or use the default full mesh"
+        )
+
+
 def _validate_real_backend(spec: ScenarioSpec) -> None:
     """What the asyncio/TCP backend can and cannot execute.
 
@@ -469,6 +528,12 @@ def _validate_real_backend(spec: ScenarioSpec) -> None:
             "link-fault models (loss/jitter/partitions) are simulated "
             "network behaviour; the real backend's links are the real "
             "network — drop .network(...) for real runs"
+        )
+    if not spec.topology.is_full_mesh:
+        raise ScenarioValidationError(
+            "sparse monitoring topologies (ring/gossip) are sim-only for "
+            "now: the real backend meshes every node pair at startup — use "
+            'the default full mesh with backend="real"'
         )
 
 

@@ -207,6 +207,13 @@ def run_once(
         result = CHECKS.resolve(check)(trace, pattern)
         metrics[f"{check}_ok"] = result.ok
         metrics[f"{check}_time"] = result.stabilization_time
+        # Checks may publish extra measurements (detection latency, message
+        # counts, false suspicions, …) under details["metrics"]; fold them in
+        # namespaced by the check, mirroring the _ok/_time keys.
+        extra = result.details.get("metrics") if result.details else None
+        if isinstance(extra, Mapping):
+            for key, value in extra.items():
+                metrics[f"{check}_{key}"] = value
     return RunRecord(
         scenario=scenario,
         seed=seed,
@@ -243,10 +250,28 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
     consensus_entry = CONSENSUS.resolve(spec.consensus) if spec.consensus else None
     program_entry = PROGRAMS.resolve(spec.program) if spec.program else None
 
+    # Topology-aware programs get the materialised topology and their own
+    # index injected into the build parameters.  The default full mesh takes
+    # the historical build call — parameter-for-parameter identical, so every
+    # pre-topology digest is preserved.
+    topology = None if spec.topology.is_full_mesh else spec.topology.build()
+
     def factory(pid, identity):
         programs = []
         if program_entry is not None:
-            programs.append(program_entry.build(spec.program_params))
+            if topology is not None:
+                programs.append(
+                    program_entry.build(
+                        {
+                            **spec.program_params,
+                            "topology": topology,
+                            "index": pid.index,
+                            "peers": tuple(range(membership.size)),
+                        }
+                    )
+                )
+            else:
+                programs.append(program_entry.build(spec.program_params))
         if consensus_entry is not None:
             programs.append(
                 consensus_entry.build(proposals[pid], membership, spec.consensus_params)

@@ -196,11 +196,18 @@ def register_consensus(
 
 @dataclass(frozen=True)
 class ProgramEntry:
-    """A detector-implementation program plus its timing requirement."""
+    """A detector-implementation program plus its timing requirement.
+
+    ``topology_aware`` marks programs that draw their probe/heartbeat targets
+    from the scenario's monitoring topology (``topology`` and ``index`` are
+    injected into their build parameters for sparse topologies); the builder
+    rejects sparse topologies for every other program.
+    """
 
     build: Callable[[Mapping[str, Any]], Any]
     requires_timing: str | None = None
     paper_item: str = ""
+    topology_aware: bool = False
 
     def provides_detector(self, params: Mapping[str, Any]) -> str | None:
         """The detector name the program publishes (``detector_name`` param)."""
@@ -213,9 +220,15 @@ def register_program(
     *,
     requires_timing: str | None = None,
     paper_item: str = "",
+    topology_aware: bool = False,
     overwrite: bool = False,
 ) -> ProgramEntry:
-    entry = ProgramEntry(build=build, requires_timing=requires_timing, paper_item=paper_item)
+    entry = ProgramEntry(
+        build=build,
+        requires_timing=requires_timing,
+        paper_item=paper_item,
+        topology_aware=topology_aware,
+    )
     return PROGRAMS.register(name, entry, overwrite=overwrite)
 
 
@@ -373,6 +386,22 @@ register_program(
     "heartbeat",
     lambda params: HeartbeatMonitorProgram(**params),
     paper_item="sim-vs-real validation workload (SNIPPETS.md Snippet 1)",
+    topology_aware=True,
+)
+
+
+def _build_membership_program(params: Mapping[str, Any]):
+    """Lazy import: the churn program is only needed for churn scenarios."""
+    from ..algorithms.membership import ClusterMembershipProgram
+
+    return ClusterMembershipProgram(**params)
+
+
+register_program(
+    "membership",
+    _build_membership_program,
+    paper_item="dynamic membership / churn workload (SNIPPETS.md Snippet 2 join)",
+    topology_aware=True,
 )
 
 
@@ -397,6 +426,26 @@ def _check_hb_detection(trace, pattern):
 
 
 register_check("hb_detection", _check_hb_detection)
+
+
+def _check_topo_detection(trace, pattern):
+    """Judge per-index detections under a sparse topology (lazy import)."""
+    from ..transport.validate import check_topo_detection
+
+    return check_topo_detection(trace, pattern)
+
+
+register_check("topo_detection", _check_topo_detection)
+
+
+def _check_membership_churn(trace, pattern):
+    """Judge a churn run's view convergence (lazy import)."""
+    from ..workloads.churn import check_membership_churn
+
+    return check_membership_churn(trace, pattern)
+
+
+register_check("membership_churn", _check_membership_churn)
 
 for _name, _checker in (
     ("diamond_p", check_diamond_p),

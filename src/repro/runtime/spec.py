@@ -31,6 +31,7 @@ from ..membership import (
     unique_identities,
 )
 from ..sim.failures import CrashSchedule
+from ..topology import MonitoringTopology, build_topology
 from ..sim.timing import (
     AsynchronousTiming,
     PartiallySynchronousTiming,
@@ -53,7 +54,11 @@ __all__ = [
     "DetectorSpec",
     "KVSpec",
     "NetworkSpec",
+    "TopologySpec",
     "ScenarioSpec",
+    "full_mesh",
+    "ring",
+    "gossip",
     "asynchronous",
     "partial_sync",
     "synchronous",
@@ -462,6 +467,69 @@ def composed(*stages: NetworkSpec) -> NetworkSpec:
 
 
 # ----------------------------------------------------------------------
+# Monitoring topology
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """The monitoring topology (who monitors whom), as data.
+
+    The default (``kind="full_mesh"``) reproduces the historical implicit
+    all-to-all monitoring; :meth:`ScenarioSpec.to_dict` omits the section
+    entirely in that case so pre-topology canonical hashes (and hence run-cache
+    keys) are preserved.  ``ring`` and ``gossip`` select the sparse O(n·k)
+    designs in :mod:`repro.topology`; the builder only accepts them for
+    programs that declare themselves topology-aware.
+    """
+
+    kind: str = "full_mesh"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        # Fail at construction, not at run time, on an unknown kind or bad
+        # parameters (build_topology validates both).
+        self.build()
+
+    @property
+    def is_full_mesh(self) -> bool:
+        """Whether this is the default (historical all-to-all) topology."""
+        return self.kind == "full_mesh"
+
+    @property
+    def is_default(self) -> bool:
+        """Whether the spec serializes to nothing (full mesh, no parameters)."""
+        return self.is_full_mesh and not self.params
+
+    def build(self) -> MonitoringTopology:
+        """Materialise the :class:`~repro.topology.MonitoringTopology`."""
+        return build_topology(self.kind, self.params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TopologySpec":
+        return cls(
+            kind=payload.get("kind", "full_mesh"), params=dict(payload.get("params", {}))
+        )
+
+
+def full_mesh() -> TopologySpec:
+    """Every process monitors every other process (the historical default)."""
+    return TopologySpec("full_mesh")
+
+
+def ring(successors: int = 3) -> TopologySpec:
+    """Each process monitors its ``successors`` next peers in ring order."""
+    return TopologySpec("ring", {"successors": successors})
+
+
+def gossip(fanout: int = 3) -> TopologySpec:
+    """Heartbeat counters diffused to ``fanout`` seeded-random peers per period."""
+    return TopologySpec("gossip", {"fanout": fanout})
+
+
+# ----------------------------------------------------------------------
 # Detectors
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -600,6 +668,7 @@ class ScenarioSpec:
     program_params: Mapping[str, Any] = field(default_factory=dict)
     checks: tuple[str, ...] = ()
     kv: KVSpec | None = None
+    topology: TopologySpec = field(default_factory=TopologySpec)
     backend: str = "sim"
     backend_params: Mapping[str, Any] = field(default_factory=dict)
     horizon: float = 500.0
@@ -651,6 +720,10 @@ class ScenarioSpec:
         if self.backend != "sim" or self.backend_params:
             payload["backend"] = self.backend
             payload["backend_params"] = dict(self.backend_params)
+        # And for the monitoring topology: the full-mesh default serializes
+        # exactly as before the topology layer existed.
+        if not self.topology.is_default:
+            payload["topology"] = self.topology.to_dict()
         return payload
 
     @classmethod
@@ -670,6 +743,7 @@ class ScenarioSpec:
             program_params=dict(payload.get("program_params", {})),
             checks=tuple(payload.get("checks", ())),
             kv=KVSpec.from_dict(payload["kv"]) if payload.get("kv") else None,
+            topology=TopologySpec.from_dict(payload.get("topology", {})),
             backend=payload.get("backend", "sim"),
             backend_params=dict(payload.get("backend_params", {})),
             horizon=payload.get("horizon", 500.0),

@@ -17,7 +17,14 @@ from ..identity import ProcessId
 from ..membership import Membership
 from .clock import Time
 
-__all__ = ["CrashEvent", "CrashSchedule", "FailurePattern", "crash_free"]
+__all__ = [
+    "CrashEvent",
+    "CrashSchedule",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "FailurePattern",
+    "crash_free",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +137,127 @@ class CrashSchedule:
 def crash_free() -> CrashSchedule:
     """Convenience alias for :meth:`CrashSchedule.none`."""
     return CrashSchedule.none()
+
+
+# ----------------------------------------------------------------------
+# Membership churn
+# ----------------------------------------------------------------------
+#: The churn event vocabulary: a late *join* (via an introducer), a
+#: voluntary announced *leave*, a silent *down* (process stops responding,
+#: like a crash), and an *up* recovery (the process rejoins with a higher
+#: incarnation number).
+CHURN_KINDS = ("join", "leave", "down", "up")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership transition of one process, by index.
+
+    Unlike crashes — which are simulator-enforced (the runtime stops
+    delivering) — churn events are *program-level*: the cluster-membership
+    program reads its own schedule slice and acts it out (a joiner sleeps
+    until ``join``; a leaver announces and goes quiet; a down process drops
+    traffic until its ``up``).  That keeps churn entirely inside the
+    backend-portable program layer.
+    """
+
+    index: int
+    kind: str
+    time: Time
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHURN_KINDS:
+            raise ConfigurationError(
+                f"unknown churn event kind {self.kind!r}; expected one of {CHURN_KINDS}"
+            )
+        if self.time < 0:
+            raise ConfigurationError("a churn event cannot happen before time 0")
+        if self.index < 0:
+            raise ConfigurationError("churn events name non-negative process indices")
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "kind": self.kind, "time": self.time}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ChurnEvent":
+        return cls(
+            index=int(payload["index"]), kind=payload["kind"], time=payload["time"]
+        )
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A time-ordered set of churn events, validated per process.
+
+    Per-process rules: at most one ``join`` (and it must be the first event);
+    a ``leave`` is final; ``down``/``up`` must alternate (down first).  The
+    whole schedule is JSON-round-trippable so it travels inside
+    ``program_params`` to worker processes.
+    """
+
+    events: tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.time, e.index, e.kind)))
+        object.__setattr__(self, "events", ordered)
+        by_index: dict[int, list[ChurnEvent]] = {}
+        for event in ordered:
+            by_index.setdefault(event.index, []).append(event)
+        for index, history in by_index.items():
+            down = False
+            seen_join = False
+            left = False
+            for position, event in enumerate(history):
+                if left:
+                    raise ConfigurationError(
+                        f"index {index} has churn events after its leave"
+                    )
+                if event.kind == "join":
+                    if seen_join or position != 0:
+                        raise ConfigurationError(
+                            f"index {index} can only join once, as its first event"
+                        )
+                    seen_join = True
+                elif event.kind == "leave":
+                    left = True
+                elif event.kind == "down":
+                    if down:
+                        raise ConfigurationError(
+                            f"index {index} goes down twice without recovering"
+                        )
+                    down = True
+                elif event.kind == "up":
+                    if not down:
+                        raise ConfigurationError(
+                            f"index {index} recovers without being down"
+                        )
+                    down = False
+
+    @classmethod
+    def none(cls) -> "ChurnSchedule":
+        """A schedule with no churn."""
+        return cls(())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def events_for(self, index: int) -> tuple[ChurnEvent, ...]:
+        """The (time-ordered) churn history of one process index."""
+        return tuple(event for event in self.events if event.index == index)
+
+    def joiners(self) -> frozenset[int]:
+        """Indices that join after t=0 (not founding members)."""
+        return frozenset(event.index for event in self.events if event.kind == "join")
+
+    def to_dict(self) -> dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ChurnSchedule":
+        return cls(
+            tuple(ChurnEvent.from_dict(entry) for entry in payload.get("events", ()))
+        )
 
 
 @dataclass(frozen=True)

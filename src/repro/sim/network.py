@@ -87,6 +87,10 @@ class Network:
         # Delivery callbacks addressed by process index: list indexing beats
         # dict hashing for the one lookup every message copy must make.
         self._deliver_by_index: list[Callable[[Message], None] | None] = []
+        # Index → ProcessId, for resolving multicast target sets.
+        self._process_by_index: list[ProcessId | None] = [None] * index_bound
+        for process in self._everyone:
+            self._process_by_index[process.index] = process
 
     @property
     def links(self) -> LinkModel:
@@ -197,8 +201,122 @@ class Network:
                 )
 
     # ------------------------------------------------------------------
+    # The multicast primitive (sparse monitoring topologies)
+    # ------------------------------------------------------------------
+    def multicast(self, sender: ProcessId, message: Message, targets) -> None:
+        """Send one copy of ``message`` to the processes at ``targets`` only.
+
+        ``targets`` is an iterable of process *indices* (a monitoring
+        topology's target set).  The copy fate pipeline — timing draw, link
+        model, crash-instant truncation — is the same as :meth:`broadcast`,
+        applied to the target subset; the sender only hears its own message
+        when its own index is targeted.
+        """
+        deliver = self._deliver_by_index
+        if not deliver:
+            raise SimulationError("the network has not been connected to any processes")
+        sent_at = self._clock.now
+        recipients = self._multicast_recipients(sender, sent_at, targets)
+        self._trace.record_broadcast(message.kind, copies=len(recipients))
+        if not recipients:
+            return
+        timing = self._timing
+        rng = self._rng
+        queue = self._queue
+        debug = queue.debug_labels
+        if self._links_are_reliable:
+            if timing.uniform_delivery and len(recipients) > 1 and not debug:
+                drawn = timing.delivery_time(sender, recipients[0], sent_at, rng)
+                if drawn is None:
+                    return
+                if drawn < sent_at:
+                    raise SimulationError(
+                        f"timing model produced a delivery before the send time "
+                        f"({drawn} < {sent_at})"
+                    )
+                queue.schedule_batch(
+                    drawn,
+                    [deliver[receiver.index] for receiver in recipients],
+                    args=(message,),
+                    priority=_DELIVERY_PRIORITY,
+                    kind=KIND_DELIVERY,
+                )
+                return
+            schedule = queue.schedule
+            times = timing.delivery_times(sender, recipients, sent_at, rng)
+            for receiver, when in zip(recipients, times):
+                if when is None:
+                    continue  # lost before GST (partially synchronous model only)
+                if when < sent_at:
+                    raise SimulationError(
+                        f"timing model produced a delivery before the send time "
+                        f"({when} < {sent_at})"
+                    )
+                schedule(
+                    when,
+                    deliver[receiver.index],
+                    args=(message,),
+                    priority=_DELIVERY_PRIORITY,
+                    label=f"deliver {message.kind} to {receiver!r}" if debug else "",
+                    kind=KIND_DELIVERY,
+                )
+            return
+        links = self._links
+        for receiver in recipients:
+            drawn = timing.delivery_time(sender, receiver, sent_at, rng)
+            if drawn is None:
+                continue  # lost before GST (partially synchronous model only)
+            if drawn < sent_at:
+                raise SimulationError(
+                    f"timing model produced a delivery before the send time "
+                    f"({drawn} < {sent_at})"
+                )
+            for when in links.deliveries(sender, receiver, sent_at, (drawn,), rng):
+                if when < sent_at:
+                    raise SimulationError(
+                        f"link model produced a delivery before the send time "
+                        f"({when} < {sent_at})"
+                    )
+                queue.schedule(
+                    when,
+                    deliver[receiver.index],
+                    args=(message,),
+                    priority=_DELIVERY_PRIORITY,
+                    label=f"deliver {message.kind} to {receiver!r}" if debug else "",
+                    kind=KIND_DELIVERY,
+                )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _multicast_recipients(
+        self, sender: ProcessId, sent_at: float, targets
+    ) -> tuple[ProcessId, ...]:
+        """Resolve target indices to processes, honouring crash truncation."""
+        by_index = self._process_by_index
+        bound = len(by_index)
+        recipients: list[ProcessId] = []
+        for index in targets:
+            process = by_index[index] if 0 <= index < bound else None
+            if process is None:
+                raise SimulationError(
+                    f"multicast target index {index} names no process "
+                    f"(membership has indices 0..{bound - 1})"
+                )
+            recipients.append(process)
+        recipients.sort()
+        crash_event = self._partial_crash_by_index[sender.index]
+        if (
+            crash_event is not None
+            and abs(crash_event.time - sent_at) <= _CRASH_BROADCAST_TOLERANCE
+        ):
+            subset_size = int(
+                crash_event.partial_broadcast_fraction * len(recipients)
+            )
+            chosen = self._rng.sample(recipients, k=subset_size) if subset_size else []
+            return tuple(sorted(chosen))
+        return tuple(recipients)
+
     def _recipients_for(self, sender: ProcessId, sent_at: float) -> tuple[ProcessId, ...]:
         """All processes, unless the sender crashes during this very broadcast.
 

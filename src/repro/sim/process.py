@@ -88,6 +88,10 @@ class ProcessContext(AbstractProcessContext):
         """Broadcast ``⟨kind, fields…⟩`` to every process, including the sender."""
         self._runtime.broadcast(Message(kind, fields))
 
+    def multicast(self, kind: str, targets: Any, **fields: Any) -> None:
+        """Send ``⟨kind, fields…⟩`` to the processes at the given indices only."""
+        self._runtime.multicast(Message(kind, fields), targets)
+
     def on(self, kind: str, handler: Callable[[Message], None]) -> None:
         """Register an "upon reception of ⟨kind, …⟩" handler."""
         self._runtime.register_handler(kind, handler)
@@ -157,6 +161,7 @@ class ProcessRuntime:
         trace: RunTrace,
         rng: random.Random,
         broadcast_fn: Callable[[ProcessId, Message], None],
+        multicast_fn: Callable[[ProcessId, Message, Any], None] | None = None,
     ) -> None:
         self.process_id = process_id
         self.identity = identity
@@ -167,6 +172,7 @@ class ProcessRuntime:
         self._timing = timing
         self._trace = trace
         self._broadcast_fn = broadcast_fn
+        self._multicast_fn = multicast_fn
         self._handlers: dict[str, list[Callable[[Message], None]]] = {}
         self._tasks: list[_Task] = []
         self._detector_views: dict[str, Any] = {}
@@ -232,6 +238,19 @@ class ProcessRuntime:
                 f"crashed process {self.process_id!r} attempted to broadcast {message!r}"
             )
         self._broadcast_fn(self.process_id, message)
+
+    def multicast(self, message: Message, targets: Any) -> None:
+        """Forward a multicast to the network (errors after a crash)."""
+        if self._crashed:
+            raise ProcessCrashedError(
+                f"crashed process {self.process_id!r} attempted to multicast {message!r}"
+            )
+        if self._multicast_fn is None:
+            raise SimulationError(
+                "this runtime was built without multicast support; "
+                "use broadcast or wire a multicast_fn"
+            )
+        self._multicast_fn(self.process_id, message, targets)
 
     def register_handler(self, kind: str, handler: Callable[[Message], None]) -> None:
         """Register an "upon reception of" handler for a message kind."""

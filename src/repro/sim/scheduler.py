@@ -87,6 +87,7 @@ class Simulation:
                 trace=self.trace,
                 rng=self.rng_streams.stream(f"process:{process.index}"),
                 broadcast_fn=self.network.broadcast,
+                multicast_fn=self.network.multicast,
             )
             self.runtimes[process] = runtime
         self.network.connect(

@@ -62,6 +62,9 @@ class RealProcessContext(AbstractProcessContext):
     def broadcast(self, kind: str, **fields: Any) -> None:
         self._runtime.broadcast(Message(kind, fields))
 
+    def multicast(self, kind: str, targets: Any, **fields: Any) -> None:
+        self._runtime.multicast(Message(kind, fields), targets)
+
     def on(self, kind: str, handler: Callable[[Message], None]) -> None:
         self._runtime.register_handler(kind, handler)
 
@@ -172,6 +175,25 @@ class RealNodeRuntime:
         # Self-delivery (the simulator's broadcast includes the sender), on a
         # fresh loop iteration so handlers never run re-entrantly.
         asyncio.get_running_loop().call_soon(self.deliver, message)
+
+    def multicast(self, message: Message, targets: Any) -> None:
+        """Write the frame only to the peers whose index is targeted.
+
+        Self-delivery happens only when this node's own index is in the
+        target set (matching :meth:`Network.multicast` on the simulator).
+        """
+        if self._stopped:
+            return
+        wanted = set(targets)
+        self.log.log("msg_send", kind=message.kind)
+        frame = encode_frame(
+            {"kind": message.kind, "payload": dict(message.payload), "sender": self.index}
+        )
+        for index, writer in self._peer_writers.items():
+            if index in wanted and not writer.is_closing():
+                writer.write(frame)
+        if self.index in wanted:
+            asyncio.get_running_loop().call_soon(self.deliver, message)
 
     def register_handler(self, kind: str, handler: Callable[[Message], None]) -> None:
         self._handlers.setdefault(kind, []).append(handler)

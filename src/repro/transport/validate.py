@@ -35,6 +35,7 @@ __all__ = [
     "scatter_csv",
     "units_to_ms",
     "check_hb_detection",
+    "check_topo_detection",
 ]
 
 DECLARED_DEAD = "declared_dead"
@@ -264,5 +265,86 @@ def check_hb_detection(trace, pattern):
             "latencies": {repr(k): v for k, v in latencies.items()},
             "missed": len(missed),
             "detected": len(latencies),
+            # Folded into the RunRecord metrics (namespaced by the check name)
+            # by run_once, so sweeps can aggregate without re-parsing traces.
+            "metrics": {
+                "detected": len(latencies),
+                "missed": len(missed),
+                "median_latency": None if stats is None else stats["median"],
+                "copies_sent": trace.message_copies_sent,
+                "end_time": trace.end_time,
+            },
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# The sparse-topology trace check (registered as "topo_detection")
+# ----------------------------------------------------------------------
+def check_topo_detection(trace, pattern):
+    """Judge an index-addressed (ring/gossip) monitoring run.
+
+    Sparse topologies monitor by process *index*, so there is no homonym
+    cover: every crashed index must eventually be declared (by index) by at
+    least one correct process — even when the victim's direct monitors
+    crashed with it, which the ring repairs by recomputing successor windows.
+    A declaration before the victim's crash, or of an index that never
+    crashes, is a *false suspicion* and a violation.
+    """
+    from ..detectors.properties import CheckResult
+
+    crashes = {process.index: when for process, when in trace.crashes.items()}
+
+    violations: list[str] = []
+    latencies: dict[int, float] = {}
+    missed: list[int] = []
+    false_suspicions = 0
+    for observer in pattern.correct:
+        for record in trace.records_of(observer, DECLARED_DEAD):
+            target = record.value
+            if target not in crashes:
+                false_suspicions += 1
+                violations.append(
+                    f"{observer!r} declared live index {target!r} dead "
+                    f"at t={record.time}"
+                )
+            elif record.time < crashes[target]:
+                false_suspicions += 1
+                violations.append(
+                    f"{observer!r} declared index {target!r} dead at "
+                    f"t={record.time} before its crash at t={crashes[target]}"
+                )
+    for victim_index, t_fail in sorted(crashes.items()):
+        t_detect: float | None = None
+        for observer in pattern.correct:
+            for record in trace.records_of(observer, DECLARED_DEAD):
+                if record.value != victim_index or record.time < t_fail:
+                    continue
+                if t_detect is None or record.time < t_detect:
+                    t_detect = record.time
+        if t_detect is None:
+            missed.append(victim_index)
+        else:
+            latencies[victim_index] = t_detect - t_fail
+    if missed:
+        violations.append(f"missed detections (by index): {missed!r}")
+
+    stats = median_iqr(list(latencies.values()))
+    return CheckResult(
+        ok=not violations,
+        violations=tuple(violations),
+        stabilization_time=None if stats is None else stats["median"],
+        details={
+            "latencies": {str(k): v for k, v in latencies.items()},
+            "missed": len(missed),
+            "detected": len(latencies),
+            "metrics": {
+                "detected": len(latencies),
+                "missed": len(missed),
+                "false_suspicions": false_suspicions,
+                "median_latency": None if stats is None else stats["median"],
+                "copies_sent": trace.message_copies_sent,
+                "end_time": trace.end_time,
+            },
         },
     )

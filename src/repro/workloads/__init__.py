@@ -7,6 +7,7 @@ both with a timing model and detector stabilization times
 (:mod:`repro.workloads.scenarios`).
 """
 
+from .churn import check_membership_churn, churn_schedule, churn_spec
 from .crashes import (
     cascading_crashes,
     crash_fraction,
@@ -21,6 +22,9 @@ __all__ = [
     "ConsensusScenario",
     "DetectorScenario",
     "cascading_crashes",
+    "check_membership_churn",
+    "churn_schedule",
+    "churn_spec",
     "crash_fraction",
     "homonymy_spectrum",
     "leader_targeted_crashes",
