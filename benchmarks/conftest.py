@@ -68,11 +68,13 @@ def pytest_sessionfinish(session, exitstatus):
         if runs:
             entry["runs_per_round"] = runs
             entry["runs_per_second"] = runs / median_seconds
-        # Wall-clock rows (the real transport backend) carry their own
-        # regression budget and the measured detection latency; topology
-        # scaling rows carry their scale and per-process load.  Pass those
-        # through so compare_bench.py can gate each row on its own terms and
-        # the baseline doubles as a recorded data point.
+        # Wall-clock rows (the real transport backend, the fabric
+        # coordinator) carry their own regression budget and the measured
+        # detection latency; topology scaling rows carry their scale and
+        # per-process load; the adaptive-allocation row records how many runs
+        # early stopping saved.  Pass those through so compare_bench.py can
+        # gate each row on its own terms and the baseline doubles as a
+        # recorded data point.
         for passthrough in (
             "kind",
             "max_regression_pct",
@@ -80,6 +82,10 @@ def pytest_sessionfinish(session, exitstatus):
             "mode",
             "n",
             "msgs_per_proc_round",
+            "workers",
+            "total_runs",
+            "fixed_grid_runs",
+            "runs_saved",
         ):
             if passthrough in extra:
                 entry[passthrough] = extra[passthrough]

@@ -18,6 +18,7 @@ be bit-identical to the serial one::
     PYTHONPATH=src python benchmarks/digest_manifest.py -o m.json  # save JSON
     PYTHONPATH=src python benchmarks/digest_manifest.py --jobs 4 --pool warm --check m.json
     PYTHONPATH=src python benchmarks/digest_manifest.py --jobs 4 --pool cold --check m.json
+    PYTHONPATH=src python benchmarks/digest_manifest.py --fabric 3 --check m.json
 
 ``--check`` exits non-zero on any mismatch against a previously saved
 manifest, so a refactor branch can assert equivalence mechanically.
@@ -38,22 +39,13 @@ import json
 import sys
 
 import repro.sim.scheduler as scheduler_module
+from repro.fabric.digests import CORE_EXPERIMENTS, fold_digests as _fold, fold_named as _fold_named
 from repro.runtime import Engine, executor_for, run_with_digest_capture
 from repro.runtime.registry import EXPERIMENTS
 # Only ALL_EXPERIMENTS (the deterministic E1-E10) is folded: wall-clock
 # experiments (E11's real backend) are registered too but have no stable
 # digest, so the manifests iterate this dict, not EXPERIMENTS.names().
 from repro.experiments import ALL_EXPERIMENTS
-
-_DIGEST_MASK = 0xFFFFFFFFFFFFFFFF
-_FNV_PRIME = 1099511628211
-
-
-def _fold(digests: list[int]) -> int:
-    folded = 0
-    for digest in digests:
-        folded = ((folded * _FNV_PRIME) ^ digest) & _DIGEST_MASK
-    return folded
 
 
 class _DigestCapturingExecutor:
@@ -130,24 +122,44 @@ def _collect_pooled(seed: int, jobs: int, pool: str) -> dict[str, str]:
     return manifest
 
 
-#: The experiments folded into the historical ``ALL`` digest.  Frozen at
-#: E1–E9: manifests saved before the KV workload landed must keep matching,
-#: so newer experiments fold into ``FULL`` instead of moving ``ALL``.
-_CORE_EXPERIMENTS = tuple(f"E{i}" for i in range(1, 10))
+def _collect_fabric(seed: int, workers: int) -> dict[str, str]:
+    """Capture through the sweep fabric: plan, shard across workers, fold.
+
+    ``repro.fabric`` plans every deterministic experiment, a coordinator fans
+    the items out to worker subprocesses (in a throwaway state directory, no
+    cache — every digest must come from a fresh execution), and the journaled
+    digests are folded per experiment span.  The result must be bit-identical
+    to :func:`_collect_serial`.
+    """
+    import tempfile
+
+    from repro.fabric import plan_experiments
+    from repro.fabric.coordinator import Coordinator
+
+    plan = plan_experiments(list(ALL_EXPERIMENTS), quick=True, seed=seed)
+    with tempfile.TemporaryDirectory(prefix="digest-fabric-") as state_dir:
+        result = Coordinator(plan, state_dir=state_dir, workers=workers).run()
+    if not result.digests_complete:
+        raise RuntimeError("fabric run returned results without digest records")
+    return result.experiment_digests()
 
 
-def _fold_named(manifest: dict[str, str], names) -> str:
-    return f"{_fold([int(manifest[name], 16) for name in sorted(names)]):016x}"
-
-
-def collect_manifest(seed: int = 0, *, jobs: int | None = None, pool: str = "warm") -> dict[str, str]:
+def collect_manifest(
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+    pool: str = "warm",
+    fabric: int | None = None,
+) -> dict[str, str]:
     """Run every experiment quick and return ``{experiment: folded digest}``."""
-    if jobs is not None and jobs > 1:
+    if fabric is not None:
+        manifest = _collect_fabric(seed, fabric)
+    elif jobs is not None and jobs > 1:
         manifest = _collect_pooled(seed, jobs, pool)
     else:
         manifest = _collect_serial(seed)
     experiment_names = list(manifest)
-    core = [name for name in experiment_names if name in _CORE_EXPERIMENTS]
+    core = [name for name in experiment_names if name in CORE_EXPERIMENTS]
     manifest["ALL"] = _fold_named(manifest, core)
     manifest["FULL"] = _fold_named(manifest, experiment_names)
     return manifest
@@ -170,13 +182,24 @@ def main(argv: list[str] | None = None) -> int:
         default="warm",
         help="pool mode for --jobs > 1 (default: warm)",
     )
+    parser.add_argument(
+        "--fabric",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sweeps through the distributed sweep fabric "
+        "(repro.fabric coordinator + N worker subprocesses) instead of an "
+        "in-process pool; the manifest must still be bit-identical",
+    )
     parser.add_argument("-o", "--output", metavar="FILE", help="write the manifest as JSON")
     parser.add_argument(
         "--check", metavar="FILE", help="compare against a saved manifest; non-zero on mismatch"
     )
     args = parser.parse_args(argv)
 
-    manifest = collect_manifest(seed=args.seed, jobs=args.jobs, pool=args.pool)
+    manifest = collect_manifest(
+        seed=args.seed, jobs=args.jobs, pool=args.pool, fabric=args.fabric
+    )
     for name, digest in manifest.items():
         print(f"{name:>4}  {digest}")
 

@@ -9,7 +9,41 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from .tables import render_table
 
-__all__ = ["ParameterSweep", "ExperimentResult", "aggregate_rows", "merge_row"]
+__all__ = [
+    "ParameterSweep",
+    "ExperimentResult",
+    "aggregate_rows",
+    "merge_row",
+    "shard_bounds",
+    "shard_items",
+]
+
+
+def shard_bounds(total: int, shard: int, shards: int) -> tuple[int, int]:
+    """The ``[start, end)`` slice of shard ``shard`` out of ``shards``.
+
+    The partition is contiguous and balanced: every shard gets
+    ``total // shards`` items and the first ``total % shards`` shards get one
+    extra.  Contiguity is what makes the partition *order-stable*: the
+    concatenation of shards ``0 .. shards-1`` is exactly the original
+    sequence, so merging sharded output back into input order is plain
+    concatenation — no per-item bookkeeping.  This is the single audited
+    code path under :meth:`ParameterSweep.slice`, the fabric chunk planner,
+    and the experiment CLI's ``--shard i/N``.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard must be in [0, {shards}), got {shard}")
+    base, extra = divmod(total, shards)
+    start = shard * base + min(shard, extra)
+    return start, start + base + (1 if shard < extra else 0)
+
+
+def shard_items(items: Sequence[Any], shard: int, shards: int) -> list:
+    """The items of shard ``shard`` out of ``shards`` (see :func:`shard_bounds`)."""
+    start, end = shard_bounds(len(items), shard, shards)
+    return list(items[start:end])
 
 
 def merge_row(config: Mapping[str, Any], outcome: Mapping[str, Any]) -> dict:
@@ -67,6 +101,16 @@ class ParameterSweep:
                 config["seed"] = self._base_seed + combo_index * self._repetitions + repetition
                 config["repetition"] = repetition
                 yield config
+
+    def slice(self, shard: int, shards: int) -> list[dict]:
+        """The configurations of shard ``shard`` out of ``shards``.
+
+        The shards are disjoint, their union (in shard order) is exactly
+        ``list(self)``, and each preserves the sweep's iteration order — the
+        guarantees the fabric planner and ``--shard i/N`` both rely on; see
+        :func:`shard_bounds` for the partition rule.
+        """
+        return shard_items(list(self), shard, shards)
 
     @property
     def total_runs(self) -> int:

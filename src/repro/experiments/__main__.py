@@ -2,7 +2,8 @@
 
 Examples::
 
-    python -m repro.experiments                     # run E1–E10 in quick mode
+    python -m repro.experiments                     # every deterministic
+                                                    # experiment, quick mode
     python -m repro.experiments --full E4 E5        # full sweeps of E4 and E5
     python -m repro.experiments --jobs 4            # one warm worker pool,
                                                     # reused across experiments
@@ -11,6 +12,11 @@ Examples::
     python -m repro.experiments --stream --jsonl runs.jsonl   # rows as they land
     python -m repro.experiments --format json E1    # machine-readable output
     python -m repro.experiments --seed 3 -o report.txt --jsonl runs.jsonl
+    python -m repro.experiments E1 --shard 2/3 --jsonl shard2.jsonl
+                                                    # one shard of the sweep;
+                                                    # concatenating the N
+                                                    # shards reproduces the
+                                                    # serial JSONL exactly
 """
 
 from __future__ import annotations
@@ -27,18 +33,62 @@ from . import ALL_EXPERIMENTS, WALLCLOCK_EXPERIMENTS  # noqa: F401  (importing r
 __all__ = ["main"]
 
 
+def _run_shard(parser, args, selected: list[str]) -> int:
+    """Execute one contiguous shard of the selected experiments' work plan.
+
+    The plan (and therefore the shard boundaries and row order) is exactly
+    what a serial run executes, so ``cat shard1 … shardN`` reproduces the
+    serial ``--jsonl`` byte-for-byte — with one caveat: experiments that use
+    ``Engine.map`` (E3) emit nothing to the serial JSONL, whereas their rows
+    *do* appear here, so for those the concatenation is a superset.
+    """
+    from ..fabric.plan import PlanningError, plan_experiments
+    from ..fabric.work import execute_item
+    from ..analysis.runner import shard_items
+    from ..runtime.cache import RunCache
+
+    try:
+        index_text, _, count_text = args.shard.partition("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        parser.error(f"--shard expects i/N (e.g. 2/3), got {args.shard!r}")
+    if not 1 <= index <= count:
+        parser.error(f"--shard index must be in 1..{count}, got {index}")
+    try:
+        plan = plan_experiments(selected, quick=not args.full, seed=args.seed)
+    except PlanningError as error:
+        parser.error(str(error))
+    cache = RunCache.coerce(args.cache)
+    items = shard_items(plan.items, index - 1, count)
+    sink = open(args.jsonl, "w", encoding="utf-8") if args.jsonl else sys.stdout
+    try:
+        for item in items:
+            result = execute_item(item, cache)
+            sink.write(json.dumps(result.row, sort_keys=True, default=str) + "\n")
+            sink.flush()
+    finally:
+        if args.jsonl:
+            sink.close()
+    print(
+        f"shard {index}/{count}: {len(items)} of {len(plan)} items "
+        f"({', '.join(plan.experiments)})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the selected experiments and print (or write) their tables."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the experiments of EXPERIMENTS.md (E1-E10).",
+        description="Regenerate the experiments of EXPERIMENTS.md.",
     )
     parser.add_argument(
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
         help="experiment ids to run (default: every deterministic experiment, "
-        "E1..E10; wall-clock experiments like E11 run only when named)",
+        "E1 through E12; wall-clock experiments like E11 run only when named)",
     )
     parser.add_argument(
         "--full",
@@ -94,6 +144,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--shard",
+        metavar="i/N",
+        help="execute only shard i of N (1-based) of the selected experiments' "
+        "work plan and emit its rows as JSONL (to --jsonl or stdout); shards "
+        "partition the plan contiguously, so concatenating all N shard files "
+        "in order is byte-identical to the serial JSONL. Tables are skipped; "
+        "--jobs/--pool/--stream do not apply",
+    )
     args = parser.parse_args(argv)
 
     # Wall-clock experiments (E11's real-backend half) only run when named
@@ -107,6 +166,9 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"available: {', '.join(EXPERIMENTS.names())}"
         )
+
+    if args.shard:
+        return _run_shard(parser, args, selected)
 
     def stream_line(payload) -> None:
         print(json.dumps(payload, sort_keys=True, default=str), file=sys.stderr, flush=True)

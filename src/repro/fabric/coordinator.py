@@ -1,0 +1,450 @@
+"""The fabric coordinator: fan chunks out, journal results, merge in order.
+
+The coordinator owns a *state directory*::
+
+    state/
+      plan.json                   # the frozen plan this state belongs to
+      shards/run00-chunk0003.jsonl   # one journal line per finished item
+      merged.jsonl                # final output, in global input order
+
+and drives worker subprocesses (``python -m repro.fabric worker``) through
+the :mod:`~repro.fabric.protocol`.  Every ``result`` frame is appended to the
+chunk's shard journal *the moment it arrives* — the journal, not worker
+memory, is the source of truth — so at any instant the state directory holds
+every completed item.
+
+**Crash story.**  A worker dying (EOF on its pipe, or an ``error`` frame)
+requeues only its chunk's *unfinished* items, up to ``max_retries`` per
+chunk, and a replacement worker is spawned.  The coordinator itself dying is
+handled by construction: a restarted coordinator re-reads the plan, loads
+every journaled result whose ``(index, key)`` still matches, and dispatches
+only what is missing — resume is just "run again with the same state dir".
+Items already in the shared :class:`~repro.runtime.cache.RunCache` are
+likewise served without re-execution (workers consult it per item).
+
+**Determinism.**  Results are merged by global item index, never by
+completion order, so the merged JSONL — and the digest fold — is identical
+for 1 worker or 40, first run or third resume, which is what the manifest
+gate (``digest_manifest.py --fabric``) checks mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import repro
+
+from ..errors import ReproError
+from ..runtime.cache import RunCache
+from . import protocol
+from .digests import CORE_EXPERIMENTS, fold_digests, fold_named
+from .plan import FabricPlan, WorkItem
+from .work import ItemResult
+
+__all__ = ["FabricError", "SimulatedCrash", "FabricResult", "Coordinator"]
+
+#: Chunks dispatched per worker (load-balance granularity), mirroring the
+#: executors' DEFAULT_CHUNK_MULTIPLIER.
+DEFAULT_CHUNK_MULTIPLIER = 4
+
+
+class FabricError(ReproError):
+    """The fabric could not complete the plan (retries exhausted, bad state)."""
+
+
+class SimulatedCrash(FabricError):
+    """Raised by ``crash_after_chunks`` to rehearse coordinator death.
+
+    The state directory is left exactly as a real mid-run SIGKILL would leave
+    it (journals flushed, no merged output), which is what the resume smoke
+    test relies on.
+    """
+
+
+@dataclass
+class FabricResult:
+    """A completed fabric run: ordered rows, digests, and provenance counts."""
+
+    plan: FabricPlan
+    results: list[ItemResult]
+    stats: dict = field(default_factory=dict)
+    merged_path: Path | None = None
+
+    @property
+    def rows(self) -> list[dict]:
+        return [dict(result.row) for result in self.results]
+
+    @property
+    def digests_complete(self) -> bool:
+        """Whether every item's digest record survived (see work.py)."""
+        return all(result.digests_complete for result in self.results)
+
+    def experiment_digests(self) -> dict[str, str]:
+        """Per-experiment folded digests, in the serial capture order."""
+        spans = self.plan.experiment_spans()
+        return {
+            name: f"{fold_digests(d for r in self.results[start:end] for d in r.digests):016x}"
+            for name, (start, end) in spans.items()
+        }
+
+    def manifest(self) -> dict[str, str]:
+        """A digest manifest shaped like ``benchmarks/digest_manifest.py``'s.
+
+        ``ALL`` folds whichever of the frozen E1–E9 core was planned; ``FULL``
+        folds every planned experiment — so a full-plan fabric manifest is
+        directly comparable to a saved serial manifest.
+        """
+        manifest = self.experiment_digests()
+        names = list(manifest)
+        manifest["ALL"] = fold_named(manifest, [n for n in names if n in CORE_EXPERIMENTS])
+        manifest["FULL"] = fold_named(manifest, names)
+        return manifest
+
+
+class _Worker:
+    """One worker subprocess plus the thread draining its result stream."""
+
+    def __init__(self, number: int, command: list[str], events: "queue.Queue") -> None:
+        self.number = number
+        self.chunk: "_Chunk | None" = None
+        env = dict(os.environ)
+        # Make the library importable in the worker no matter how the
+        # coordinator itself was launched (installed, PYTHONPATH=src, tests).
+        library_root = str(Path(repro.__file__).resolve().parent.parent)
+        paths = env.get("PYTHONPATH", "")
+        if library_root not in paths.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                f"{library_root}{os.pathsep}{paths}" if paths else library_root
+            )
+        self.process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # workers share the coordinator's stderr
+            env=env,
+        )
+        self._reader = threading.Thread(
+            target=self._drain, args=(events,), daemon=True
+        )
+        self._reader.start()
+
+    def _drain(self, events: "queue.Queue") -> None:
+        try:
+            while True:
+                message = protocol.read_message(self.process.stdout)
+                if message is None:
+                    break
+                events.put((self.number, message))
+        except Exception as error:  # torn frame on kill — report as death
+            events.put((self.number, {"type": protocol.ERROR, "error": str(error)}))
+        events.put((self.number, None))
+
+    def send(self, type: str, **fields: Any) -> bool:
+        try:
+            protocol.write_message(self.process.stdin, type, **fields)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+
+    def reap(self) -> None:
+        for stream in (self.process.stdin, self.process.stdout):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.process.wait()
+        self._reader.join(timeout=5)
+
+
+@dataclass
+class _Chunk:
+    number: int
+    items: list[WorkItem]
+    retries: int = 0
+
+    @property
+    def label(self) -> str:
+        first, last = self.items[0], self.items[-1]
+        return f"chunk {self.number} (items {first.index}..{last.index})"
+
+
+class Coordinator:
+    """Execute a :class:`FabricPlan` across worker subprocesses; see module doc."""
+
+    def __init__(
+        self,
+        plan: FabricPlan | None = None,
+        *,
+        state_dir: str | os.PathLike,
+        workers: int = 2,
+        cache: RunCache | str | None = None,
+        max_retries: int = 2,
+        chunk_multiplier: int = DEFAULT_CHUNK_MULTIPLIER,
+        python: str = sys.executable,
+        chaos_kill_worker_after: int | None = None,
+        crash_after_chunks: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise FabricError(f"workers must be at least 1, got {workers}")
+        self.state_dir = Path(state_dir)
+        self.workers = workers
+        self.cache = RunCache.coerce(cache)
+        self.max_retries = max_retries
+        self.chunk_multiplier = chunk_multiplier
+        self.python = python
+        self.chaos_kill_worker_after = chaos_kill_worker_after
+        self.crash_after_chunks = crash_after_chunks
+        self.plan = self._adopt_plan(plan)
+
+    # -- state-directory handling --------------------------------------
+    def _adopt_plan(self, plan: FabricPlan | None) -> FabricPlan:
+        """Freeze the plan into the state dir, or load/verify the frozen one.
+
+        A state directory belongs to exactly one plan: resuming with a
+        different plan would merge unrelated results, so a mismatch is an
+        error, not a silent overwrite.
+        """
+        plan_path = self.state_dir / "plan.json"
+        if plan_path.exists():
+            frozen = FabricPlan.read(plan_path)
+            if plan is not None and plan.to_dict() != frozen.to_dict():
+                raise FabricError(
+                    f"state dir {self.state_dir} holds a different plan "
+                    f"({len(frozen)} items, experiments {frozen.experiments}); "
+                    "use a fresh directory or resume without passing a plan"
+                )
+            return frozen
+        if plan is None:
+            raise FabricError(f"no plan given and none frozen in {self.state_dir}")
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        plan.write(plan_path)
+        return plan
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.state_dir / "shards"
+
+    def _load_journaled(self) -> dict[int, ItemResult]:
+        """Every journaled result whose ``(index, key)`` still matches the plan.
+
+        Torn tails (a line cut short by a crash mid-append) and foreign lines
+        are skipped: a journal line is either a complete, verifiable result or
+        it does not exist.
+        """
+        have: dict[int, ItemResult] = {}
+        items = self.plan.items
+        for shard_path in sorted(self.shards_dir.glob("*.jsonl")):
+            with open(shard_path, encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        payload = json.loads(line)
+                        result = ItemResult.from_dict(payload)
+                    except (ValueError, KeyError, TypeError):
+                        continue
+                    if 0 <= result.index < len(items) and items[result.index].key == result.key:
+                        have[result.index] = result
+        return have
+
+    # -- the run -------------------------------------------------------
+    def run(self, merged_path: str | os.PathLike | None = None) -> FabricResult:
+        """Complete the plan (dispatch, retry, resume) and merge the output."""
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        have = self._load_journaled()
+        resumed = len(have)
+        pending = [item for item in self.plan.items if item.index not in have]
+        stats = {
+            "items": len(self.plan.items),
+            "from_journal": resumed,
+            "dispatched": len(pending),
+            "worker_deaths": 0,
+            "requeued_chunks": 0,
+        }
+        if pending:
+            run_id = sum(1 for _ in self.shards_dir.glob("run*-chunk*.jsonl"))
+            self._dispatch(pending, have, stats, run_prefix=f"run{run_id:02d}")
+        missing = [item.index for item in self.plan.items if item.index not in have]
+        if missing:
+            raise FabricError(f"fabric run finished with {len(missing)} missing items")
+        results = [have[item.index] for item in self.plan.items]
+        for source in ("fresh", "run-cache", "fabric-cache"):
+            stats[source.replace("-", "_")] = sum(
+                1 for result in results if result.source == source
+            )
+        merged = Path(merged_path) if merged_path else self.state_dir / "merged.jsonl"
+        with open(merged, "w", encoding="utf-8") as handle:
+            for result in results:
+                handle.write(json.dumps(result.row, sort_keys=True, default=str) + "\n")
+        return FabricResult(
+            plan=self.plan, results=results, stats=stats, merged_path=merged
+        )
+
+    def _worker_command(self) -> list[str]:
+        command = [self.python, "-m", "repro.fabric", "worker"]
+        if self.cache is not None:
+            command += ["--cache", str(self.cache.root)]
+        return command
+
+    def _dispatch(
+        self,
+        pending: list[WorkItem],
+        have: dict[int, ItemResult],
+        stats: dict,
+        *,
+        run_prefix: str,
+    ) -> None:
+        chunk_count = min(len(pending), self.workers * self.chunk_multiplier)
+        sliced = FabricPlan(items=pending).chunk(chunk_count)
+        todo: "queue.Queue[_Chunk]" = queue.Queue()
+        for number, items in enumerate(sliced):
+            todo.put(_Chunk(number=number, items=items))
+        outstanding = len(sliced)
+        completed_chunks = 0
+        results_seen = 0
+        chaos_armed = self.chaos_kill_worker_after is not None
+        events: "queue.Queue[tuple[int, dict | None]]" = queue.Queue()
+        command = self._worker_command()
+        fleet: dict[int, _Worker] = {}
+        next_number = 0
+
+        def spawn() -> None:
+            nonlocal next_number
+            worker = _Worker(next_number, command, events)
+            fleet[next_number] = worker
+            next_number += 1
+
+        def assign(worker: _Worker) -> None:
+            try:
+                chunk = todo.get_nowait()
+            except queue.Empty:
+                return
+            worker.chunk = chunk
+            if not worker.send(
+                protocol.CHUNK,
+                chunk=chunk.number,
+                items=[item.to_dict() for item in chunk.items],
+            ):
+                # Dead before the first frame: the reader thread will deliver
+                # the EOF event, which requeues the chunk through _on_death.
+                pass
+
+        def journal_path(chunk: _Chunk) -> Path:
+            return self.shards_dir / f"{run_prefix}-chunk{chunk.number:04d}.jsonl"
+
+        def on_death(worker: _Worker) -> None:
+            nonlocal outstanding
+            stats["worker_deaths"] += 1
+            chunk = worker.chunk
+            worker.chunk = None
+            worker.kill()
+            worker.reap()
+            fleet.pop(worker.number, None)
+            if chunk is not None:
+                remainder = [item for item in chunk.items if item.index not in have]
+                if not remainder:
+                    outstanding -= 1
+                else:
+                    if chunk.retries >= self.max_retries:
+                        raise FabricError(
+                            f"{chunk.label} failed {chunk.retries + 1} times; "
+                            f"first unfinished item: {remainder[0].label}"
+                        )
+                    stats["requeued_chunks"] += 1
+                    todo.put(
+                        _Chunk(
+                            number=chunk.number,
+                            items=remainder,
+                            retries=chunk.retries + 1,
+                        )
+                    )
+            if outstanding:
+                spawn()
+
+        try:
+            for _ in range(min(self.workers, outstanding)):
+                spawn()
+            # Dispatch loop: every event is a worker message or a death (None).
+            while outstanding:
+                number, message = events.get()
+                worker = fleet.get(number)
+                if worker is None:
+                    continue  # stale event from an already-reaped worker
+                if message is None or message["type"] == protocol.ERROR:
+                    if message is not None:
+                        print(
+                            f"fabric: worker {number} failed: "
+                            f"{message.get('error', 'unknown error')}",
+                            file=sys.stderr,
+                        )
+                    on_death(worker)
+                    continue
+                if message["type"] == protocol.HELLO:
+                    assign(worker)
+                elif message["type"] == protocol.RESULT:
+                    result = ItemResult.from_dict(message["result"])
+                    if worker.chunk is not None:
+                        with open(journal_path(worker.chunk), "a", encoding="utf-8") as handle:
+                            handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+                            handle.flush()
+                    have[result.index] = result
+                    results_seen += 1
+                    if (
+                        chaos_armed
+                        and results_seen >= self.chaos_kill_worker_after
+                        and fleet
+                    ):
+                        chaos_armed = False
+                        victim = fleet[min(fleet)]
+                        print(
+                            f"fabric: chaos-killing worker {victim.number} "
+                            f"after {results_seen} results",
+                            file=sys.stderr,
+                        )
+                        victim.kill()
+                elif message["type"] == protocol.CHUNK_DONE:
+                    worker.chunk = None
+                    outstanding -= 1
+                    completed_chunks += 1
+                    if (
+                        self.crash_after_chunks is not None
+                        and completed_chunks >= self.crash_after_chunks
+                        and outstanding
+                    ):
+                        raise SimulatedCrash(
+                            f"simulated coordinator crash after "
+                            f"{completed_chunks} chunks ({outstanding} left)"
+                        )
+                    assign(worker)
+        finally:
+            for worker in list(fleet.values()):
+                worker.send(protocol.SHUTDOWN)
+            for worker in list(fleet.values()):
+                if worker.chunk is not None:
+                    worker.kill()  # busy worker won't read the shutdown frame
+                worker.reap()
+
+
+def run_plan(
+    plan: FabricPlan | None,
+    *,
+    state_dir: str | os.PathLike,
+    workers: int = 2,
+    cache: RunCache | str | None = None,
+    **kwargs: Any,
+) -> FabricResult:
+    """One-call convenience: coordinate ``plan`` to completion."""
+    return Coordinator(
+        plan, state_dir=state_dir, workers=workers, cache=cache, **kwargs
+    ).run()

@@ -1,0 +1,89 @@
+"""The coordinator ↔ worker wire protocol: length-prefixed JSON messages.
+
+The frame format is exactly :mod:`repro.transport.framing` (4-byte big-endian
+length + UTF-8 JSON), reused here over *synchronous* binary streams — a
+worker's stdin/stdout pipes today, an ssh channel or TCP socket tomorrow; the
+protocol never assumes it is talking to a local subprocess.
+
+Message types (every message is ``{"type": …, …}``):
+
+* ``hello`` (worker → coordinator) — ``{pid}``: the worker imported the
+  library and is ready for chunks;
+* ``chunk`` (coordinator → worker) — ``{chunk, items}``: execute these work
+  items (plan dicts), in order;
+* ``result`` (worker → coordinator) — ``{chunk, result}``: one finished
+  item (:class:`~repro.fabric.work.ItemResult` dict), streamed as it
+  completes so the coordinator can journal incrementally;
+* ``chunk_done`` (worker → coordinator) — ``{chunk}``: every item of the
+  chunk was executed and its results sent;
+* ``error`` (worker → coordinator) — ``{chunk, error}``: an item raised; the
+  worker is poisoned and will exit (the coordinator requeues the chunk's
+  remainder against its retry budget);
+* ``shutdown`` (coordinator → worker) — exit cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO
+
+from ..transport.framing import MAX_FRAME_BYTES, FramingError, encode_frame
+
+__all__ = [
+    "HELLO",
+    "CHUNK",
+    "RESULT",
+    "CHUNK_DONE",
+    "ERROR",
+    "SHUTDOWN",
+    "write_message",
+    "read_message",
+]
+
+HELLO = "hello"
+CHUNK = "chunk"
+RESULT = "result"
+CHUNK_DONE = "chunk_done"
+ERROR = "error"
+SHUTDOWN = "shutdown"
+
+_LENGTH = struct.Struct(">I")
+
+
+def write_message(stream: BinaryIO, type: str, **fields: Any) -> None:
+    """Frame and flush one message onto a binary stream."""
+    stream.write(encode_frame({"type": type, **fields}))
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF before any byte."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        piece = stream.read(remaining)
+        if not piece:
+            if not chunks:
+                return None
+            raise FramingError("stream closed mid-frame")
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def read_message(stream: BinaryIO) -> dict | None:
+    """Read one framed message; ``None`` on clean EOF between frames."""
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"announced frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _read_exact(stream, length)
+    if body is None:
+        raise FramingError("stream closed mid-frame")
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise FramingError(f"malformed fabric message: {payload!r}")
+    return payload

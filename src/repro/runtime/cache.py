@@ -82,13 +82,38 @@ class RunCache:
     @staticmethod
     def outcome_key(fn: Callable[..., Any], config: Mapping[str, Any]) -> str:
         """Key for a custom sweep function applied to one config."""
+        return RunCache.outcome_key_named(_function_key(fn), config)
+
+    @staticmethod
+    def outcome_key_named(fn_name: str, config: Mapping[str, Any]) -> str:
+        """`outcome_key` from the function's dotted name instead of the object.
+
+        The fabric plans work as plain JSON — a chunk manifest names the sweep
+        function (``module.qualname``) rather than pickling it — so planner
+        and worker must derive the *same* key from the name alone.  Keeping
+        this as the single hashing path (``outcome_key`` delegates here)
+        guarantees a fabric worker's entry is a later engine run's hit and
+        vice versa.
+        """
         text = json.dumps(
-            {"fn": _function_key(fn), "config": dict(config)},
+            {"fn": fn_name, "config": dict(config)},
             sort_keys=True,
             separators=(",", ":"),
             default=str,
         )
         return f"row-{hashlib.sha256(text.encode('utf-8')).hexdigest()}"
+
+    @staticmethod
+    def derived_key(namespace: str, base_key: str) -> str:
+        """A key in a private ``namespace`` derived from another key.
+
+        Lets a subsystem store its own enriched payload alongside the plain
+        entry without colliding with it (the fabric stores
+        ``{"row", "digests"}`` envelopes under ``derived_key("fab", item_key)``
+        while still populating the plain entry for ordinary engine runs).
+        """
+        digest = hashlib.sha256(base_key.encode("utf-8")).hexdigest()
+        return f"{namespace}-{digest}"
 
     # -- storage -------------------------------------------------------
     def _path(self, key: str) -> Path:

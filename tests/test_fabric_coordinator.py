@@ -1,0 +1,163 @@
+"""The fabric coordinator: determinism, cache interplay, crashes, resume.
+
+These tests spawn real worker subprocesses (``python -m repro.fabric
+worker``), so they use the smallest plan that still exercises every path: a
+raw 8-item sweep of E1's ``_run_one`` at n=3 (a few ms per run).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import ParameterSweep
+from repro.experiments.e1_ohp_convergence import _run_one as run_one_e1
+from repro.fabric import execute_item, plan_experiments, plan_sweep
+from repro.fabric.coordinator import Coordinator, FabricError, SimulatedCrash
+from repro.runtime import Engine
+from repro.runtime.cache import RunCache
+
+
+@pytest.fixture
+def tiny_plan():
+    sweep = ParameterSweep(
+        {
+            "n": [3],
+            "distinct_ids": [1, 3],
+            "gst": [2.0],
+            "delta": [0.5, 1.0],
+            "fixed_timeout": [False],
+        },
+        repetitions=2,
+        base_seed=0,
+    )
+    return plan_sweep(run_one_e1, sweep, name="tiny")
+
+
+def _merged_bytes(result) -> bytes:
+    return Path(result.merged_path).read_bytes()
+
+
+def test_coordinator_merges_in_input_order(tiny_plan, tmp_path) -> None:
+    """Sharded output must equal the serial engine's, row for row — and be
+    identical across worker counts."""
+    serial_rows = Engine().sweep(run_one_e1, [dict(i.payload["config"]) for i in tiny_plan.items])
+    one = Coordinator(tiny_plan, state_dir=tmp_path / "w1", workers=1).run()
+    three = Coordinator(tiny_plan, state_dir=tmp_path / "w3", workers=3).run()
+    canonical = [json.loads(json.dumps(row, sort_keys=True, default=str)) for row in serial_rows]
+    assert one.rows == canonical
+    assert three.rows == canonical
+    assert _merged_bytes(one) == _merged_bytes(three)
+    assert one.stats["fresh"] == len(tiny_plan)
+    assert one.digests_complete
+    assert one.experiment_digests() == three.experiment_digests()
+
+
+def test_coordinator_requeues_after_worker_kill(tiny_plan, tmp_path) -> None:
+    """SIGKILLing a worker mid-chunk loses nothing: the chunk's unfinished
+    remainder is requeued and the output stays byte-identical."""
+    clean = Coordinator(tiny_plan, state_dir=tmp_path / "clean", workers=2).run()
+    chaotic = Coordinator(
+        tiny_plan,
+        state_dir=tmp_path / "chaos",
+        workers=2,
+        chaos_kill_worker_after=2,
+    ).run()
+    assert chaotic.stats["worker_deaths"] >= 1
+    assert _merged_bytes(chaotic) == _merged_bytes(clean)
+    assert chaotic.experiment_digests() == clean.experiment_digests()
+
+
+def test_coordinator_crash_and_resume(tiny_plan, tmp_path) -> None:
+    """A coordinator killed mid-sweep resumes from its journals and converges
+    to the identical merged output, executing only the missing items."""
+    reference = Coordinator(tiny_plan, state_dir=tmp_path / "ref", workers=2).run()
+    state = tmp_path / "crashing"
+    with pytest.raises(SimulatedCrash):
+        Coordinator(
+            tiny_plan, state_dir=state, workers=2, crash_after_chunks=2
+        ).run()
+    # resume without re-passing the plan: the frozen plan.json drives it
+    resumed = Coordinator(None, state_dir=state, workers=2).run()
+    assert resumed.stats["from_journal"] > 0
+    assert resumed.stats["dispatched"] < len(tiny_plan)
+    assert _merged_bytes(resumed) == _merged_bytes(reference)
+    # a second resume is a pure journal replay: nothing left to dispatch
+    replay = Coordinator(None, state_dir=state, workers=2).run()
+    assert replay.stats["dispatched"] == 0
+    assert _merged_bytes(replay) == _merged_bytes(reference)
+
+
+def test_coordinator_ignores_torn_and_foreign_journal_lines(tiny_plan, tmp_path) -> None:
+    state = tmp_path / "state"
+    with pytest.raises(SimulatedCrash):
+        Coordinator(tiny_plan, state_dir=state, workers=1, crash_after_chunks=1).run()
+    shard = next((state / "shards").glob("*.jsonl"))
+    with open(shard, "a", encoding="utf-8") as handle:
+        handle.write('{"index": 0, "key": "wrong-key", "row": {}}\n')  # foreign
+        handle.write('{"index": 2, "row": {"tru')  # torn tail
+    resumed = Coordinator(None, state_dir=state, workers=1).run()
+    assert len(resumed.results) == len(tiny_plan)
+    assert resumed.digests_complete
+
+
+def test_state_dir_is_bound_to_one_plan(tiny_plan, tmp_path) -> None:
+    state = tmp_path / "state"
+    Coordinator(tiny_plan, state_dir=state, workers=1).run()
+    other = plan_experiments(["E1"], quick=True, seed=0)
+    with pytest.raises(FabricError, match="different plan"):
+        Coordinator(other, state_dir=state, workers=1)
+    with pytest.raises(FabricError, match="no plan"):
+        Coordinator(None, state_dir=tmp_path / "empty")
+
+
+def test_shared_cache_serves_resumed_runs(tiny_plan, tmp_path) -> None:
+    """Workers populate the shared RunCache; a second fabric run over a fresh
+    state dir re-executes nothing and still reproduces rows *and* digests."""
+    cache = RunCache(tmp_path / "cache")
+    first = Coordinator(
+        tiny_plan, state_dir=tmp_path / "a", workers=2, cache=cache
+    ).run()
+    second = Coordinator(
+        tiny_plan, state_dir=tmp_path / "b", workers=2, cache=cache
+    ).run()
+    assert second.stats["fabric_cache"] == len(tiny_plan)
+    assert second.stats["fresh"] == 0
+    assert _merged_bytes(second) == _merged_bytes(first)
+    assert second.experiment_digests() == first.experiment_digests()
+    assert second.digests_complete
+
+
+def test_execute_item_cache_levels(tiny_plan, tmp_path) -> None:
+    """In-process item execution: fresh → fabric-cache, and a plain engine
+    entry (no digest record) is honoured but marked digest-incomplete."""
+    cache = RunCache(tmp_path / "cache")
+    item = tiny_plan.items[0]
+    fresh = execute_item(item, cache)
+    assert fresh.source == "fresh" and fresh.digests and fresh.digests_complete
+    again = execute_item(item, cache)
+    assert again.source == "fabric-cache"
+    assert again.row == fresh.row and again.digests == fresh.digests
+    # simulate an engine-populated cache: plain entry only, no fab envelope
+    other = RunCache(tmp_path / "plain")
+    other.put(item.key, dict(run_one_e1(dict(item.payload["config"]))))
+    plain = execute_item(item, other)
+    assert plain.source == "run-cache"
+    assert plain.row == fresh.row
+    assert not plain.digests_complete
+
+
+def test_experiments_cli_shard_concatenation(tmp_path) -> None:
+    """`--shard i/N` shards compose: cat shard1..N == the serial --jsonl."""
+    from repro.experiments.__main__ import main
+
+    serial = tmp_path / "serial.jsonl"
+    assert main(["E1", "--jsonl", str(serial), "-o", str(tmp_path / "r.txt")]) == 0
+    pieces = []
+    for index in (1, 2, 3):
+        shard = tmp_path / f"shard{index}.jsonl"
+        assert main(["E1", "--shard", f"{index}/3", "--jsonl", str(shard)]) == 0
+        pieces.append(shard.read_bytes())
+    assert b"".join(pieces) == serial.read_bytes()

@@ -1,0 +1,150 @@
+"""The shard planner: bounds math, sweep slicing, and plan enumeration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.runner import ParameterSweep, shard_bounds, shard_items
+from repro.experiments.e1_ohp_convergence import _run_one as run_one_e1
+from repro.fabric import FabricPlan, plan_experiments, plan_sweep
+from repro.fabric.plan import PlanningEngine, PlanningError, WorkItem
+from repro.runtime.cache import RunCache
+from repro.runtime.spec import ScenarioSpec
+
+
+# ---------------------------------------------------------------------------
+# shard_bounds / shard_items / ParameterSweep.slice
+# ---------------------------------------------------------------------------
+@given(total=st.integers(0, 500), shards=st.integers(1, 20))
+def test_shard_bounds_partition(total: int, shards: int) -> None:
+    """The shards tile [0, total) contiguously, disjointly, and near-evenly."""
+    bounds = [shard_bounds(total, shard, shards) for shard in range(shards)]
+    cursor = 0
+    sizes = []
+    for start, end in bounds:
+        assert start == cursor  # contiguous and in order: no gap, no overlap
+        assert end >= start
+        sizes.append(end - start)
+        cursor = end
+    assert cursor == total
+    assert max(sizes) - min(sizes) <= 1  # balanced to within one item
+
+
+def test_shard_bounds_rejects_bad_arguments() -> None:
+    with pytest.raises(ValueError):
+        shard_bounds(10, 0, 0)
+    with pytest.raises(ValueError):
+        shard_bounds(10, 3, 3)
+    with pytest.raises(ValueError):
+        shard_bounds(10, -1, 3)
+
+
+@given(
+    values=st.lists(st.integers(), max_size=60),
+    shards=st.integers(1, 8),
+)
+def test_shard_items_union_is_order_stable(values: list[int], shards: int) -> None:
+    """Concatenating the slices reproduces the input exactly (union, disjoint,
+    order all in one equality)."""
+    slices = [shard_items(values, shard, shards) for shard in range(shards)]
+    assert [item for piece in slices for item in piece] == values
+
+
+@given(repetitions=st.integers(1, 4), shards=st.integers(1, 7))
+def test_parameter_sweep_slice(repetitions: int, shards: int) -> None:
+    sweep = ParameterSweep(
+        {"n": [3, 4], "delta": [0.5, 1.0]}, repetitions=repetitions, base_seed=7
+    )
+    full = list(sweep)
+    slices = [sweep.slice(shard, shards) for shard in range(shards)]
+    assert [config for piece in slices for config in piece] == full
+
+
+# ---------------------------------------------------------------------------
+# PlanningEngine / plan_experiments
+# ---------------------------------------------------------------------------
+def test_plan_e1_matches_serial_dispatch() -> None:
+    """Quick E1 dispatches 12 sweep configs + 1 ablation = 13 items, keyed
+    exactly as the run cache keys a live engine's dispatch."""
+    plan = plan_experiments(["E1"], quick=True, seed=0)
+    assert len(plan) == 13
+    assert plan.experiments == ("E1",)
+    assert [item.index for item in plan.items] == list(range(13))
+    assert all(item.kind == "sweep" for item in plan.items)
+    first = plan.items[0]
+    assert first.key == RunCache.outcome_key(run_one_e1, first.payload["config"])
+
+
+def test_full_deterministic_plan_shape() -> None:
+    """Every deterministic experiment plans, and the spans are contiguous."""
+    names = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12"]
+    plan = plan_experiments(names, quick=True, seed=0)
+    assert len(plan) == 187  # pinned: a dispatch-shape change must be deliberate
+    spans = plan.experiment_spans()
+    assert set(spans) == set(names)
+    covered = sorted(index for start, end in spans.values() for index in range(start, end))
+    assert covered == list(range(len(plan)))
+    kinds = {name: {plan.items[i].kind for i in range(*spans[name])} for name in names}
+    assert kinds["E3"] == {"map"}
+    assert kinds["E10"] == {"spec"}
+    assert kinds["E1"] == {"sweep"}
+
+
+def test_plan_is_deterministic_and_json_round_trips(tmp_path) -> None:
+    plan = plan_experiments(["E1", "E9"], quick=True, seed=3)
+    again = plan_experiments(["E1", "E9"], quick=True, seed=3)
+    assert plan.to_dict() == again.to_dict()
+    path = plan.write(tmp_path / "plan.json")
+    assert FabricPlan.read(path).to_dict() == plan.to_dict()
+
+
+def test_plan_chunks_concatenate_in_order(tmp_path) -> None:
+    plan = plan_experiments(["E1"], quick=True, seed=0)
+    chunks = plan.chunk(4)
+    assert [item.index for chunk in chunks for item in chunk] == list(range(len(plan)))
+    # more chunks than items: empties are dropped, items all survive
+    assert sum(len(c) for c in plan.chunk(50)) == len(plan)
+    paths = plan.write_chunks(tmp_path, 4)
+    assert [p.name for p in paths] == [f"chunk-{i:04d}.json" for i in range(4)]
+    loaded = [
+        WorkItem.from_dict(item)
+        for p in paths
+        for item in json.loads(p.read_text())["items"]
+    ]
+    assert [item.to_dict() for item in loaded] == [item.to_dict() for item in plan.items]
+
+
+def test_plan_unknown_experiment_and_lambda_are_rejected() -> None:
+    with pytest.raises(PlanningError, match="unknown experiment"):
+        plan_experiments(["E99"])
+    with pytest.raises(PlanningError, match="module-level"):
+        plan_sweep(lambda config: {}, [{"seed": 0}])
+
+
+def test_planning_engine_rejects_real_backend_specs() -> None:
+    engine = PlanningEngine()
+    spec = ScenarioSpec.from_dict(
+        {
+            "name": "real",
+            "backend": "real",
+            "membership": {"kind": "unique", "n": 3},
+            "seed": 0,
+        }
+    )
+    with pytest.raises(PlanningError, match="non-sim"):
+        engine.run(spec)
+
+
+def test_plan_sweep_over_raw_parameter_sweep() -> None:
+    sweep = ParameterSweep({"n": [3, 4], "delta": [1.0]}, repetitions=2, base_seed=0)
+    plan = plan_sweep(run_one_e1, sweep, name="raw")
+    assert len(plan) == 4
+    assert plan.experiments == ("raw",)
+    assert all(item.payload["fn"].endswith("._run_one") for item in plan.items)
+    # planning from the dotted name gives the identical plan
+    named = plan_sweep(plan.items[0].payload["fn"], sweep, name="raw")
+    assert named.to_dict() == plan.to_dict()
