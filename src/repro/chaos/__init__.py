@@ -1,0 +1,32 @@
+"""Seeded, replayable chaos campaigns across the fabric and the transport.
+
+A chaos *campaign* is a bundle of deliberate failures — worker SIGKILLs and
+SIGSTOPs, a simulated coordinator death, torn journal tails, foreign journal
+lines, corrupted cache entries, lossy/delaying real links — derived entirely
+from one integer seed (:meth:`FaultPlan.from_seed`).  Because every injection
+parameter is a deterministic function of the seed, a failing campaign is
+replayed bit-identically by re-running the same seed: there is no "flaky
+chaos", only reproducible evidence.
+
+The campaign's *invariants* are the repo's actual guarantees, asserted
+end-to-end by :mod:`repro.chaos.soak`:
+
+* the fabric's merged JSONL is byte-identical to a serial run of the same
+  sweep — or explicitly partial, with the exact missing indices reported;
+* the folded digest manifest is unchanged by any amount of chaos;
+* the replicated KV service stays linearizable under crash + loss;
+* no worker/node subprocess and no temporary directory outlives its run.
+
+Entry point::
+
+    python -m repro.chaos soak --campaigns 2 --seed 7
+
+See also :mod:`repro.retry` (the shared backoff policies the subsystems under
+test use to survive these injections) and ``README.md`` §"Chaos & fault
+injection".
+"""
+
+from .campaign import FaultPlan, Injection
+from .soak import CampaignReport, run_campaign
+
+__all__ = ["FaultPlan", "Injection", "CampaignReport", "run_campaign"]

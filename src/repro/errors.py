@@ -33,11 +33,28 @@ class WorkerCrashError(ReproError):
     offending configuration can be reproduced serially.  ``candidates`` holds
     the descriptions of every item whose result was lost; the crashing item
     is guaranteed to be among them.
+
+    ``history`` carries the retry/backoff story across the owning executor's
+    lifetime — one entry per prior crash (attempt number, cause) — and is
+    folded into the message, so a sweep that kept respawning a dying pool is
+    diagnosable from the final log line alone.
     """
 
-    def __init__(self, message: str, *, candidates: "list[str] | None" = None) -> None:
-        super().__init__(message)
+    def __init__(
+        self,
+        message: str,
+        *,
+        candidates: "list[str] | None" = None,
+        history: "list[str] | None" = None,
+    ) -> None:
         self.candidates: list[str] = list(candidates or [])
+        self.history: list[str] = list(history or [])
+        if self.history:
+            message = (
+                f"{message} [crash history: {len(self.history)} attempt(s): "
+                f"{'; '.join(self.history)}]"
+            )
+        super().__init__(message)
 
 
 class ProcessCrashedError(SimulationError):

@@ -23,7 +23,7 @@ import json
 import sys
 from pathlib import Path
 
-from .coordinator import Coordinator, FabricError, FabricResult
+from .coordinator import DEFAULT_PROGRESS_TIMEOUT, Coordinator, FabricError, FabricResult
 from .plan import FabricPlan, plan_experiments
 from .work import ItemResult
 from .worker import main as worker_main
@@ -76,11 +76,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         state_dir=args.dir,
         workers=args.workers,
         cache=args.cache,
+        progress_timeout=args.progress_timeout,
+        allow_partial=args.allow_partial,
         chaos_kill_worker_after=args.chaos_kill_worker,
+        chaos_stall_worker_after=args.chaos_stall_worker,
         crash_after_chunks=args.crash_after,
     )
     result = coordinator.run(merged_path=args.merged)
     print(json.dumps(result.stats, sort_keys=True), file=sys.stderr)
+    if result.partial:
+        print(
+            f"fabric: PARTIAL merge — {len(result.quarantined)} item(s) "
+            f"quarantined (see {coordinator.partial_path})",
+            file=sys.stderr,
+        )
     print(result.merged_path)
     return 0
 
@@ -164,10 +173,31 @@ def main(argv: list[str] | None = None) -> int:
         "--merged", metavar="FILE", help="merged JSONL path (default: DIR/merged.jsonl)"
     )
     run_parser.add_argument(
+        "--progress-timeout",
+        type=float,
+        default=DEFAULT_PROGRESS_TIMEOUT,
+        metavar="SECONDS",
+        help="kill a worker that makes no progress for this long "
+        f"(default {DEFAULT_PROGRESS_TIMEOUT:g}s; stalled workers delay a "
+        "run, never hang it)",
+    )
+    run_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="merge without quarantined poison items instead of failing; "
+        "the exact missing indices land in DIR/partial.json",
+    )
+    run_parser.add_argument(
         "--chaos-kill-worker",
         type=int,
         metavar="N",
         help="SIGKILL one worker after N results (crash-recovery rehearsal)",
+    )
+    run_parser.add_argument(
+        "--chaos-stall-worker",
+        type=int,
+        metavar="N",
+        help="SIGSTOP one busy worker after N results (stall-detection rehearsal)",
     )
     run_parser.add_argument(
         "--crash-after",

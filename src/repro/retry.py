@@ -1,0 +1,184 @@
+"""One retry policy for every layer that talks to something that can fail.
+
+Before this module each subsystem improvised its own fault handling: the
+transport node dialled peers on a fixed 50 ms interval, the fabric
+coordinator respawned dead workers instantly, and a cache write that hit a
+transient ``OSError`` simply gave up.  All of them now share one vocabulary:
+
+* :class:`RetryPolicy` — *how* to wait: exponential backoff with
+  **decorrelated jitter** (AWS-style: each sleep is drawn uniformly from
+  ``[base, prev × 3]``, capped), bounded by both an attempt count and an
+  optional wall-clock deadline.  Jitter matters even single-node: N workers
+  respawning after a shared cause (an OOM sweep, a chaos kill) must not
+  reconverge on the same instant and stampede the same resource.
+* :class:`RetryHistory` — *what happened*: one :class:`Attempt` per try,
+  each carrying its cause and the backoff that followed, rendering to the
+  one-line story (``attempt 1: ConnectionRefusedError (backed off 0.08s);
+  attempt 2: …``) that makes a failed run diagnosable from the log alone.
+* :func:`retry_call` — the sync driver used by cache writes; async callers
+  (the node's dial loop) iterate :meth:`RetryPolicy.delays` themselves so
+  the backoff schedule is identical on both sides of the event loop.
+
+Policies are plain frozen data; determinism is the caller's choice — pass a
+seeded :class:`random.Random` and the jitter sequence replays bit-identically
+(which is what lets a chaos campaign's retries replay), pass nothing and a
+fresh unseeded generator is used.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "RetryPolicy",
+    "Attempt",
+    "RetryHistory",
+    "RetryExhaustedError",
+    "retry_call",
+]
+
+
+class RetryExhaustedError(Exception):
+    """Every attempt of a :func:`retry_call` failed; ``history`` tells why.
+
+    The final cause is chained as ``__cause__``, so ``raise … from`` context
+    is preserved for tracebacks; the message carries the full per-attempt
+    history for logs that only keep one line.
+    """
+
+    def __init__(self, message: str, *, history: "RetryHistory") -> None:
+        super().__init__(message)
+        self.history = history
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One try of a retried operation: its cause of failure and its backoff."""
+
+    number: int  # 1-based
+    cause: str
+    backoff: float | None = None  # seconds slept after this attempt (None = last)
+
+    def describe(self) -> str:
+        tail = "" if self.backoff is None else f" (backed off {self.backoff:.3f}s)"
+        return f"attempt {self.number}: {self.cause}{tail}"
+
+
+@dataclass
+class RetryHistory:
+    """The full story of one retried operation, for error messages and logs."""
+
+    attempts: list[Attempt] = field(default_factory=list)
+
+    def record(self, number: int, cause: object, backoff: float | None = None) -> None:
+        text = cause if isinstance(cause, str) else f"{type(cause).__name__}: {cause}"
+        self.attempts.append(Attempt(number=number, cause=text, backoff=backoff))
+
+    def __len__(self) -> int:
+        return len(self.attempts)
+
+    def describe(self) -> str:
+        if not self.attempts:
+            return "no attempts recorded"
+        return "; ".join(attempt.describe() for attempt in self.attempts)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter, attempt- and time-bounded.
+
+    ``max_attempts`` counts *tries*, not retries: ``max_attempts=1`` means no
+    retry at all.  ``deadline`` (wall seconds, measured from the first call to
+    :meth:`delays`) bounds the whole operation — once it passes, the schedule
+    stops yielding regardless of attempts left, so a retried dial can never
+    outlive the run that wanted it.
+    """
+
+    base: float = 0.05  # first/minimum sleep, seconds
+    cap: float = 2.0  # largest single sleep, seconds
+    max_attempts: int = 5  # total tries (1 = never retry)
+    deadline: float | None = None  # wall-second budget across all attempts
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError(f"retry base must be positive, got {self.base}")
+        if self.cap < self.base:
+            raise ConfigurationError(
+                f"retry cap ({self.cap}) must be >= base ({self.base})"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"retry deadline must be positive, got {self.deadline}"
+            )
+
+    def delays(
+        self,
+        rng: random.Random | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Iterator[float]:
+        """Yield the sleep before each *retry* (``max_attempts - 1`` values).
+
+        Decorrelated jitter: ``sleep_k = min(cap, uniform(base, 3 × sleep_{k-1}))``
+        with ``sleep_0 = base``.  Stops early once ``deadline`` wall seconds
+        have elapsed since the first ``next()``.  A seeded ``rng`` makes the
+        schedule replayable.
+        """
+        rng = rng or random.Random()
+        started = clock()
+        previous = self.base
+        for _ in range(self.max_attempts - 1):
+            if self.deadline is not None and clock() - started >= self.deadline:
+                return
+            delay = min(self.cap, rng.uniform(self.base, previous * 3))
+            previous = delay
+            yield delay
+
+    def remaining(self, started: float, *, clock: Callable[[], float] = time.monotonic) -> float:
+        """Wall seconds left of the deadline started at ``started`` (inf if none)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - (clock() - started)
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    *,
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    describe: str = "operation",
+) -> Any:
+    """Call ``fn`` under ``policy``; raise :class:`RetryExhaustedError` when spent.
+
+    Only exceptions in ``retry_on`` are retried — anything else is a
+    programming error and propagates immediately.  The raised error's message
+    embeds the full per-attempt history.
+    """
+    history = RetryHistory()
+    schedule = policy.delays(rng)
+    number = 0
+    while True:
+        number += 1
+        try:
+            return fn()
+        except retry_on as error:
+            delay = next(schedule, None)
+            history.record(number, error, backoff=delay)
+            if delay is None:
+                raise RetryExhaustedError(
+                    f"{describe} failed after {number} attempt(s): "
+                    f"{history.describe()}",
+                    history=history,
+                ) from error
+            sleep(delay)

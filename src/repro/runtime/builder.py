@@ -525,10 +525,15 @@ def _validate_real_backend(spec: ScenarioSpec) -> None:
         )
     if not spec.network.is_reliable:
         raise ScenarioValidationError(
-            "link-fault models (loss/jitter/partitions) are simulated "
-            "network behaviour; the real backend's links are the real "
-            "network — drop .network(...) for real runs"
+            ".network(...) link models are simulator schedule transforms; "
+            "on the real backend, shape the actual TCP links instead with "
+            'backend_params={"link": {"loss": …, "delay": …, "jitter": …, '
+            '"duplicate": …}} (see repro.transport.node.ShapedLink)'
         )
+    if spec.backend_params.get("link"):
+        from ..transport.node import validate_link_params
+
+        validate_link_params(dict(spec.backend_params["link"]))
     if not spec.topology.is_full_mesh:
         raise ScenarioValidationError(
             "sparse monitoring topologies (ring/gossip) are sim-only for "

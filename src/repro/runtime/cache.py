@@ -33,9 +33,18 @@ import os
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from ..retry import RetryExhaustedError, RetryPolicy, retry_call
+
 __all__ = ["RunCache"]
 
 _SCHEMA = "run-cache/1"
+
+#: Transient filesystem hiccups (NFS blips, EMFILE pressure from a worker
+#: fleet, a directory briefly unwritable) should not silently cost a cache
+#: entry that took a full simulation to produce: writes retry briefly with
+#: decorrelated jitter before giving up.  Kept short — a cache write is
+#: best-effort and must never stall a sweep.
+_PUT_RETRY = RetryPolicy(base=0.01, cap=0.1, max_attempts=3, deadline=1.0)
 
 
 def _function_key(fn: Callable[..., Any]) -> str:
@@ -151,11 +160,22 @@ class RunCache:
             return False
         path = self._path(key)
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
+
+        def _write() -> None:
             with open(temp, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
             os.replace(temp, path)
-        except OSError:
+
+        try:
+            retry_call(
+                _write,
+                policy=_PUT_RETRY,
+                retry_on=(OSError,),
+                describe=f"cache write {path.name}",
+            )
+        except RetryExhaustedError:
+            # Best-effort: a cache that cannot be written is a slower run,
+            # not a failed one.  Leave no temp litter behind.
             try:
                 os.unlink(temp)
             except OSError:

@@ -303,6 +303,10 @@ class WorkerPool:
         self._start_method = start_method or POOL_START_METHOD
         self._warmup = warmup
         self._pool: ProcessPoolExecutor | None = None
+        #: One line per pool crash over this executor's lifetime ("attempt N:
+        #: cause"); folded into every WorkerCrashError so repeated respawn-
+        #: and-crash cycles are diagnosable from the last log line alone.
+        self.crash_history: list[str] = []
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -357,13 +361,25 @@ class WorkerPool:
         pool = self._ensure_pool()
         try:
             yield from _dispatch_chunks(pool, fn, work, self._chunksize(len(work)))
-        except WorkerCrashError:
+        except WorkerCrashError as exc:
             # The pool is broken beyond this call; discard it so the next
             # call re-spawns instead of re-raising BrokenProcessPool forever.
             broken, self._pool = self._pool, None
             if broken is not None:
                 broken.shutdown(wait=False, cancel_futures=True)
-            raise
+            # Fold this pool generation's crash into the lifetime history and
+            # re-raise carrying it, so the caller's log shows every respawn-
+            # and-crash cycle, not just the last one.
+            sample = exc.candidates[0] if exc.candidates else "unknown item"
+            self.crash_history.append(
+                f"attempt {len(self.crash_history) + 1}: pool died on one of "
+                f"{len(exc.candidates)} in-flight item(s) (e.g. {sample})"
+            )
+            raise WorkerCrashError(
+                str(exc),
+                candidates=exc.candidates,
+                history=self.crash_history,
+            ) from exc
 
     def _chunksize(self, total: int) -> int:
         return max(1, total // (self.jobs * self._chunk_multiplier))

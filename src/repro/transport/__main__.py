@@ -22,7 +22,7 @@ import json
 import sys
 
 from ..runtime import Engine, scenario
-from ..runtime.spec import asynchronous, crashes_at
+from ..runtime.spec import asynchronous, crashes_at, lossy
 
 __all__ = ["main", "build_heartbeat_spec"]
 
@@ -38,6 +38,9 @@ def build_heartbeat_spec(
     backend: str = "sim",
     time_scale: float = 0.05,
     log_dir: str | None = None,
+    loss: float = 0.0,
+    fault_action: str = "kill",
+    resume_after: float | None = None,
     name: str = "hb-detection",
 ):
     """The harness's unit scenario, identical for both backends.
@@ -45,6 +48,11 @@ def build_heartbeat_spec(
     The sim timing models localhost: sub-interval latencies, so the only
     latency the detector sees is its own timeout discipline — which is what
     the real backend measures for real.
+
+    ``loss`` applies the same per-message drop probability on both backends:
+    the simulator's ``lossy(loss)`` link model on sim, a
+    :class:`~repro.transport.node.ShapedLink` on real — so lossy cells of a
+    sim-vs-real sweep compare like with like.
     """
     horizon = fail_at + hb_timeout + 3.0 * hb_interval + 2.0
     build = (
@@ -63,10 +71,21 @@ def build_heartbeat_spec(
         .horizon(horizon)
         .seed(seed)
     )
+    if loss:
+        if backend == "real":
+            build = build.adversarial()
+        else:
+            build = build.network(lossy(loss)).adversarial()
     if backend == "real":
         params = {"time_scale": time_scale}
         if log_dir:
             params["log_dir"] = log_dir
+        if loss:
+            params["link"] = {"loss": loss, "seed": seed}
+        if fault_action != "kill":
+            params["fault_action"] = fault_action
+        if resume_after is not None:
+            params["resume_after"] = resume_after
         build = build.backend("real", **params)
     return build.build()
 
@@ -87,6 +106,12 @@ def main(argv: list[str] | None = None) -> int:
         "--time-scale", type=float, default=0.05, help="wall seconds per time unit (real)"
     )
     parser.add_argument("--log-dir", help="keep the JSONL node logs here (real)")
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-message drop probability on every link (both backends)",
+    )
     args = parser.parse_args(argv)
 
     spec = build_heartbeat_spec(
@@ -99,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         time_scale=args.time_scale,
         log_dir=args.log_dir,
+        loss=args.loss,
     )
     record = Engine().run(spec)
     print(json.dumps(record.to_dict(), indent=2, sort_keys=True, default=str))

@@ -30,12 +30,20 @@ _ACTIONS = ("kill", "suspend")
 
 @dataclass(frozen=True)
 class FaultAction:
-    """One scheduled injection against one node."""
+    """One scheduled injection against one node.
+
+    ``resume_after`` (suspend only) schedules a SIGCONT ``resume_after`` time
+    units after the SIGSTOP — the "process stops taking steps for a while,
+    then continues" failure mode that a timeout-based detector must tolerate
+    (either by declaring the stalled identity dead and standing by it, or by
+    never suspecting a stall shorter than its timeout).
+    """
 
     index: int
     identity: object
     at: float  # scenario time units after t0
     action: str = "kill"
+    resume_after: float | None = None  # time units after `at`; suspend only
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
@@ -44,6 +52,14 @@ class FaultAction:
             )
         if self.at < 0:
             raise ConfigurationError("a fault cannot be scheduled before t0")
+        if self.resume_after is not None:
+            if self.action != "suspend":
+                raise ConfigurationError(
+                    "resume_after only applies to 'suspend' faults "
+                    "(a SIGKILLed process cannot resume)"
+                )
+            if self.resume_after <= 0:
+                raise ConfigurationError("resume_after must be positive")
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,9 @@ def fault_plan(spec: ScenarioSpec, membership: Membership) -> FaultPlan:
     """Resolve a spec's crash schedule into concrete injections."""
     schedule = spec.crashes.build(membership)
     action = str(spec.backend_params.get("fault_action", "kill"))
+    resume_after = spec.backend_params.get("resume_after")
+    if resume_after is not None:
+        resume_after = float(resume_after)
     actions = []
     for process in membership.processes:
         at = schedule.crash_time(process)
@@ -76,6 +95,7 @@ def fault_plan(spec: ScenarioSpec, membership: Membership) -> FaultPlan:
                     identity=membership.identity_of(process),
                     at=float(at),
                     action=action,
+                    resume_after=resume_after if action == "suspend" else None,
                 )
             )
     return FaultPlan(tuple(actions))

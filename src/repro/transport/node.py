@@ -23,18 +23,141 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import random
 import sys
 import time
 
+from ..errors import ConfigurationError
+from ..retry import RetryPolicy
 from .context import RealNodeRuntime
 from .events import EventLog
 from .framing import FramingError, encode_frame, read_frame
 
-__all__ = ["main"]
+__all__ = ["main", "ShapedLink", "validate_link_params", "LINK_PARAM_KEYS"]
 
-#: How long a node keeps retrying its outbound dials before giving up.
+#: Default mesh-dial deadline; override per run with ``--mesh-deadline`` (the
+#: orchestrator forwards ``backend_params["mesh_deadline"]``) — slow CI
+#: machines need more than 20 s to spawn and import N interpreters.
 MESH_DEADLINE_SECONDS = 20.0
-_RETRY_DELAY = 0.05
+
+#: Backoff schedule for outbound dials: peers come up in arbitrary order, so
+#: early dials *expect* connection-refused.  Decorrelated jitter (instead of
+#: the old fixed 50 ms poll) keeps N nodes from hammering a slow peer's
+#: accept queue in lockstep; the mesh deadline bounds the whole loop.
+DIAL_RETRY = RetryPolicy(base=0.02, cap=0.25, max_attempts=1_000_000)
+
+#: The keys a ``backend_params["link"]`` mapping may carry (see ShapedLink).
+LINK_PARAM_KEYS = ("loss", "delay", "jitter", "duplicate", "seed")
+
+
+def validate_link_params(params: dict) -> dict:
+    """Normalize and bound-check a link-shaping mapping; raise on nonsense.
+
+    Mirrors the envelopes of :mod:`repro.sim.links`: ``loss`` and
+    ``duplicate`` are per-copy probabilities in ``[0, 1)``; ``delay`` and
+    ``jitter`` are extra latency in scenario time units (scaled to wall
+    seconds by the node's ``time_scale``); ``seed`` folds into each link's
+    deterministic RNG stream.
+    """
+    if not isinstance(params, dict):
+        raise ConfigurationError(f"link params must be a mapping, got {params!r}")
+    unknown = sorted(set(params) - set(LINK_PARAM_KEYS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown link param(s) {', '.join(unknown)}; "
+            f"expected a subset of {LINK_PARAM_KEYS}"
+        )
+    out = {
+        "loss": float(params.get("loss", 0.0)),
+        "delay": float(params.get("delay", 0.0)),
+        "jitter": float(params.get("jitter", 0.0)),
+        "duplicate": float(params.get("duplicate", 0.0)),
+        "seed": int(params.get("seed", 0)),
+    }
+    for probability in ("loss", "duplicate"):
+        if not 0.0 <= out[probability] < 1.0:
+            raise ConfigurationError(
+                f"link {probability} must be a probability in [0, 1), "
+                f"got {out[probability]}"
+            )
+    for latency in ("delay", "jitter"):
+        if out[latency] < 0.0:
+            raise ConfigurationError(
+                f"link {latency} must be non-negative, got {out[latency]}"
+            )
+    return out
+
+
+class ShapedLink:
+    """Loss/delay/duplication shaping on one outbound peer link.
+
+    The real-backend twin of :mod:`repro.sim.links`: where the simulator
+    transforms a copy's candidate delivery times, this wraps one peer's
+    :class:`asyncio.StreamWriter` and decides per frame whether the copy is
+    written at all (``loss``), written twice (``duplicate``), and how much
+    extra latency it carries (``delay`` + uniform ``jitter``, in scenario
+    time units, scaled by ``time_scale``).  Exposes the two writer methods
+    the runtime uses (``write``/``is_closing``), so shaping is invisible to
+    :class:`~repro.transport.context.RealNodeRuntime`.
+
+    Draws come from a private RNG seeded ``(seed, sender, receiver)`` — the
+    same campaign seed replays the same drop/duplicate pattern per link,
+    which is what makes a lossy chaos campaign replayable.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        sender: int,
+        receiver: int,
+        time_scale: float = 1.0,
+        loss: float = 0.0,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        duplicate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self._writer = writer
+        self._time_scale = time_scale
+        self._loss = loss
+        self._delay = delay
+        self._jitter = jitter
+        self._duplicate = duplicate
+        self._rng = random.Random(f"shaped-link:{seed}:{sender}:{receiver}")
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def write(self, frame: bytes) -> None:
+        copies = 1
+        if self._duplicate and self._rng.random() < self._duplicate:
+            copies += 1
+            self.duplicated += 1
+        for _ in range(copies):
+            if self._loss and self._rng.random() < self._loss:
+                self.dropped += 1
+                continue
+            extra = self._delay
+            if self._jitter:
+                extra += self._rng.random() * self._jitter
+            if extra > 0.0:
+                self.delayed += 1
+                asyncio.get_running_loop().call_later(
+                    extra * self._time_scale, self._write_now, frame
+                )
+            else:
+                self._write_now(frame)
+
+    def _write_now(self, frame: bytes) -> None:
+        if not self._writer.is_closing():
+            self._writer.write(frame)
+
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()
+
+    def close(self) -> None:
+        self._writer.close()
 
 
 async def _serve_peer(runtime: RealNodeRuntime, reader: asyncio.StreamReader, writer) -> None:
@@ -51,15 +174,18 @@ async def _serve_peer(runtime: RealNodeRuntime, reader: asyncio.StreamReader, wr
         writer.close()
 
 
-async def _dial(host: str, port: int, deadline: float):
-    """Dial one peer, retrying until it is up (or the deadline passes)."""
+async def _dial(host: str, port: int, deadline: float, rng: random.Random):
+    """Dial one peer, backing off with jitter until it is up (or the deadline)."""
+    delays = DIAL_RETRY.delays(rng)
     while True:
         try:
             return await asyncio.open_connection(host, port)
         except OSError:
-            if time.monotonic() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise
-            await asyncio.sleep(_RETRY_DELAY)
+            delay = next(delays, DIAL_RETRY.cap)
+            await asyncio.sleep(min(delay, remaining))
 
 
 async def _run_node(args: argparse.Namespace) -> int:
@@ -68,6 +194,7 @@ async def _run_node(args: argparse.Namespace) -> int:
     identity = json.loads(args.identity)
     peers = json.loads(args.peers)
     params = json.loads(args.program_params)
+    link = validate_link_params(json.loads(args.link)) if args.link else None
 
     log = EventLog(
         args.log,
@@ -86,14 +213,25 @@ async def _run_node(args: argparse.Namespace) -> int:
     server = await asyncio.start_server(
         lambda r, w: _serve_peer(runtime, r, w), args.host, args.port
     )
-    deadline = time.monotonic() + MESH_DEADLINE_SECONDS
+    dial_rng = random.Random(f"dial:{args.seed}:{args.index}")
+    deadline = time.monotonic() + args.mesh_deadline
     for index, host, port in peers:
-        _reader, writer = await _dial(host, port, deadline)
+        _reader, writer = await _dial(host, port, deadline, dial_rng)
+        if link is not None:
+            writer = ShapedLink(
+                writer,
+                sender=args.index,
+                receiver=int(index),
+                time_scale=args.time_scale,
+                **link,
+            )
         runtime.add_peer(int(index), writer)
-    log.log("node_ready", peers=len(peers))
+    log.log("node_ready", peers=len(peers), shaped=link is not None)
 
     control_host, _, control_port = args.control.rpartition(":")
-    control_reader, control_writer = await _dial(control_host, int(control_port), deadline)
+    control_reader, control_writer = await _dial(
+        control_host, int(control_port), deadline, dial_rng
+    )
     control_writer.write(encode_frame({"event": "node_ready", "index": args.index}))
     await control_writer.drain()
 
@@ -115,7 +253,7 @@ async def _run_node(args: argparse.Namespace) -> int:
         frame = await read_frame(control_reader)
         if frame is not None and frame.get("event") == "stop":
             return
-        await asyncio.sleep(MESH_DEADLINE_SECONDS + args.horizon * args.time_scale)
+        await asyncio.sleep(args.mesh_deadline + args.horizon * args.time_scale)
 
     horizon_wall = (args.epoch + t0 + args.horizon * args.time_scale) - time.monotonic()
     stopper = asyncio.ensure_future(_until_stop_frame())
@@ -162,6 +300,18 @@ def main(argv: list[str] | None = None) -> int:
         "--horizon", type=float, required=True, help="run length in scenario time units"
     )
     parser.add_argument("--log", required=True, help="JSONL event log path")
+    parser.add_argument(
+        "--mesh-deadline",
+        type=float,
+        default=MESH_DEADLINE_SECONDS,
+        help="seconds to keep retrying outbound dials before giving up",
+    )
+    parser.add_argument(
+        "--link",
+        default="",
+        help="JSON link-shaping params (loss/delay/jitter/duplicate/seed); "
+        "mirrors repro.sim.links on real TCP links",
+    )
     args = parser.parse_args(argv)
     return asyncio.run(_run_node(args))
 

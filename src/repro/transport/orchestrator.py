@@ -6,10 +6,31 @@ declarative :class:`ScenarioSpec` (with ``backend="real"``), materialises the
 membership, spawns one ``python -m repro.transport.node`` subprocess per
 process, coordinates a common start time over a control socket, injects the
 spec's crash schedule as OS signals (recording ``t_fail`` on the shared
-monotonic base), collects every node's JSONL log, and synthesizes a
+monotonic base — SIGSTOP faults with a ``resume_after`` get their SIGCONT
+too), collects every node's JSONL log, and synthesizes a
 :class:`~repro.runtime.engine.RunRecord` whose metrics mirror what the
 ``hb_detection`` check reports for simulated runs — so a sweep can interleave
 both backends and aggregate their rows with the same code.
+
+Tunables come from ``spec.backend_params`` (all optional):
+
+* ``time_scale`` (default 0.05) — wall seconds per scenario time unit;
+* ``settle`` (default 0.3) — margin between "all ready" and t0;
+* ``ready_timeout`` (default 20) — how long to wait for every node to mesh
+  up and report ready before declaring the run stillborn;
+* ``mesh_deadline`` (default 20) — per-node outbound-dial budget, forwarded
+  as ``--mesh-deadline`` (slow CI machines raise both of these);
+* ``link`` — a loss/delay/jitter/duplicate mapping applied to every peer
+  link via :class:`~repro.transport.node.ShapedLink`, mirroring
+  ``repro.sim.links`` envelopes on real TCP;
+* ``fault_action`` (``"kill"``/``"suspend"``) and ``resume_after`` — how the
+  crash schedule is injected (see :mod:`repro.transport.faults`);
+* ``log_dir`` / ``keep_logs`` — where the JSONL evidence lands.
+
+Cleanup is unconditional: node subprocesses are reaped and the temporary log
+directory removed on *every* exit path — normal completion, a mid-run
+exception, or SIGINT (``KeyboardInterrupt`` unwinds through the same
+``finally``) — never only on success.
 
 Everything runs on localhost.  Multi-host orchestration (ssh fan-out, shared
 log collection) is ROADMAP item 4 territory and deliberately out of scope.
@@ -33,17 +54,34 @@ from ..runtime.spec import ScenarioSpec
 from .events import EventLog, read_events
 from .faults import FaultPlan, fault_plan
 from .framing import encode_frame, read_frame
+from .node import MESH_DEADLINE_SECONDS, validate_link_params
 from .validate import detection_outcome, median_iqr
 
-__all__ = ["execute_real_spec"]
+__all__ = ["execute_real_spec", "resolve_timeouts"]
 
 #: Default wall seconds per scenario time unit (0.05 ⇒ a 20-unit run ≈ 1 s).
 DEFAULT_TIME_SCALE = 0.05
 #: Margin between "all nodes ready" and t0, so every node sees the start frame
 #: and wakes on the common origin.
 DEFAULT_SETTLE_SECONDS = 0.3
-_READY_TIMEOUT = 20.0
+#: Default wait for the full fleet to report ready (``ready_timeout`` param).
+DEFAULT_READY_TIMEOUT = 20.0
 _EXIT_GRACE = 5.0
+
+
+def resolve_timeouts(params: dict) -> tuple[float, float]:
+    """``(ready_timeout, mesh_deadline)`` from backend params, validated.
+
+    Both used to be hard-coded module constants; slow CI machines (or huge
+    fleets) raise them per spec via ``backend_params`` now.
+    """
+    ready_timeout = float(params.get("ready_timeout", DEFAULT_READY_TIMEOUT))
+    mesh_deadline = float(params.get("mesh_deadline", MESH_DEADLINE_SECONDS))
+    if ready_timeout <= 0:
+        raise ConfigurationError(f"ready_timeout must be positive, got {ready_timeout}")
+    if mesh_deadline <= 0:
+        raise ConfigurationError(f"mesh_deadline must be positive, got {mesh_deadline}")
+    return ready_timeout, mesh_deadline
 
 
 def _free_port() -> int:
@@ -73,6 +111,17 @@ def execute_real_spec(spec: ScenarioSpec) -> RunRecord:
     return asyncio.run(_orchestrate(spec))
 
 
+def _injection_timeline(plan: FaultPlan) -> list[tuple[float, str, object]]:
+    """Faults plus their scheduled SIGCONT resumes, in one sorted timeline."""
+    timeline: list[tuple[float, str, object]] = []
+    for action in plan.actions:
+        timeline.append((action.at, "fault", action))
+        if action.resume_after is not None:
+            timeline.append((action.at + action.resume_after, "resume", action))
+    timeline.sort(key=lambda entry: entry[0])
+    return timeline
+
+
 async def _orchestrate(spec: ScenarioSpec) -> RunRecord:
     import json
     import os
@@ -82,6 +131,8 @@ async def _orchestrate(spec: ScenarioSpec) -> RunRecord:
     params = dict(spec.backend_params)
     time_scale = float(params.get("time_scale", DEFAULT_TIME_SCALE))
     settle = float(params.get("settle", DEFAULT_SETTLE_SECONDS))
+    ready_timeout, mesh_deadline = resolve_timeouts(params)
+    link = validate_link_params(dict(params["link"])) if params.get("link") else None
     plan = fault_plan(spec, membership)
 
     explicit_dir = params.get("log_dir")
@@ -105,72 +156,90 @@ async def _orchestrate(spec: ScenarioSpec) -> RunRecord:
             if len(ready) == n:
                 all_ready.set()
 
-    control = await asyncio.start_server(_control, "127.0.0.1", 0)
-    control_port = control.sockets[0].getsockname()[1]
-
-    # -- spawn nodes -------------------------------------------------------
     identities = [membership.identity_of(process) for process in membership.processes]
     env = {**os.environ, "PYTHONPATH": _python_path()}
     procs: list[subprocess.Popen] = []
     stdio: list = []
-    for index in range(n):
-        peers = [
-            [other, "127.0.0.1", ports[other]] for other in range(n) if other != index
-        ]
-        out = open(log_dir / f"node{index}.out", "w", encoding="utf-8")
-        stdio.append(out)
-        procs.append(
-            subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro.transport.node",
-                    "--index", str(index),
-                    "--identity", json.dumps(identities[index]),
-                    "--port", str(ports[index]),
-                    "--peers", json.dumps(peers),
-                    "--control", f"127.0.0.1:{control_port}",
-                    "--epoch", repr(epoch),
-                    "--time-scale", repr(time_scale),
-                    "--program", spec.program,
-                    "--program-params", json.dumps(dict(spec.program_params)),
-                    "--seed", str(spec.seed),
-                    "--horizon", repr(spec.horizon),
-                    "--log", str(log_dir / f"node{index}.jsonl"),
-                ],
-                env=env,
-                stdout=out,
-                stderr=subprocess.STDOUT,
-            )
-        )
-
+    control = None
     injector: EventLog | None = None
+    t_fail: dict[int, float] = {}
+    completed = False
+    # Everything from here on — including the spawn loop itself — runs under
+    # one ``finally``: a Popen that fails for node k, a SIGINT while waiting
+    # for ready, or a mid-run exception must still reap the nodes spawned so
+    # far, close every handle, and (unless logs were asked for) remove the
+    # temp directory.  Leaked node processes are exactly the orphans the
+    # chaos soak hunts for.
     try:
+        control = await asyncio.start_server(_control, "127.0.0.1", 0)
+        control_port = control.sockets[0].getsockname()[1]
+
+        # -- spawn nodes ---------------------------------------------------
+        for index in range(n):
+            peers = [
+                [other, "127.0.0.1", ports[other]] for other in range(n) if other != index
+            ]
+            out = open(log_dir / f"node{index}.out", "w", encoding="utf-8")
+            stdio.append(out)
+            command = [
+                sys.executable,
+                "-m",
+                "repro.transport.node",
+                "--index", str(index),
+                "--identity", json.dumps(identities[index]),
+                "--port", str(ports[index]),
+                "--peers", json.dumps(peers),
+                "--control", f"127.0.0.1:{control_port}",
+                "--epoch", repr(epoch),
+                "--time-scale", repr(time_scale),
+                "--program", spec.program,
+                "--program-params", json.dumps(dict(spec.program_params)),
+                "--seed", str(spec.seed),
+                "--horizon", repr(spec.horizon),
+                "--log", str(log_dir / f"node{index}.jsonl"),
+                "--mesh-deadline", repr(mesh_deadline),
+            ]
+            if link is not None:
+                command += ["--link", json.dumps(link)]
+            procs.append(
+                subprocess.Popen(command, env=env, stdout=out, stderr=subprocess.STDOUT)
+            )
+
         try:
-            await asyncio.wait_for(all_ready.wait(), timeout=_READY_TIMEOUT)
+            await asyncio.wait_for(all_ready.wait(), timeout=ready_timeout)
         except asyncio.TimeoutError:
             dead = [i for i, proc in enumerate(procs) if proc.poll() is not None]
             raise RuntimeError(
-                f"nodes never reached ready (exited early: {dead}); "
-                f"see {log_dir}/node*.out"
+                f"nodes never reached ready within {ready_timeout}s "
+                f"(exited early: {dead}); raise backend_params['ready_timeout'] "
+                f"on slow machines; see {log_dir}/node*.out"
             ) from None
 
         t0 = (time.monotonic() - epoch) + settle
         injector = EventLog(
             log_dir / "injector.jsonl", epoch=epoch, t0=t0, time_scale=time_scale
         )
-        injector.log("run_start", t0=round(t0, 6), nodes=n, time_scale=time_scale)
+        injector.log(
+            "run_start", t0=round(t0, 6), nodes=n, time_scale=time_scale,
+            link=link, shaped=link is not None,
+        )
         start_frame = encode_frame({"event": "start", "t0": t0})
         for writer in ready.values():
             writer.write(start_frame)
             await writer.drain()
 
         # -- fault injection (t_fail on the shared base, Snippet 1 §8) ----
-        t_fail: dict[int, float] = {}
-        for action in plan.actions:
-            target_wall = epoch + t0 + action.at * time_scale
+        for at, kind, action in _injection_timeline(plan):
+            target_wall = epoch + t0 + at * time_scale
             await asyncio.sleep(max(0.0, target_wall - time.monotonic()))
             proc = procs[action.index]
+            if kind == "resume":
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGCONT)
+                injector.log(
+                    "fault_resumed", victim=action.index, identity=action.identity
+                )
+                continue
             sig = signal.SIGKILL if action.action == "kill" else signal.SIGSTOP
             if proc.poll() is None:
                 proc.send_signal(sig)
@@ -194,6 +263,7 @@ async def _orchestrate(spec: ScenarioSpec) -> RunRecord:
                 break
             await asyncio.sleep(0.05)
         injector.log("run_end")
+        completed = True
     finally:
         for proc in procs:
             if proc.poll() is None:
@@ -204,12 +274,19 @@ async def _orchestrate(spec: ScenarioSpec) -> RunRecord:
             handle.close()
         if injector is not None:
             injector.close()
-        control.close()
-        await control.wait_closed()
+        if control is not None:
+            control.close()
+            await control.wait_closed()
+        if not completed and not keep_logs:
+            # Failed or interrupted run: nothing downstream will read these
+            # logs, so the temp dir must not outlive the exception.
+            shutil.rmtree(log_dir, ignore_errors=True)
 
     metrics = _metrics_from_logs(
         log_dir, membership=membership, plan=plan, t_fail=t_fail, time_scale=time_scale
     )
+    if link is not None:
+        metrics["link"] = link
     if keep_logs:
         metrics["log_dir"] = str(log_dir)
     record = RunRecord(

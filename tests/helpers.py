@@ -63,3 +63,17 @@ def run_probe_system(
     simulation = Simulation(system)
     trace = simulation.run(until=until)
     return simulation, trace
+
+
+def poison_run_one(config: dict) -> dict:
+    """Chaos-test workload: a poison config kills the whole worker process.
+
+    ``os._exit`` (not an exception) models the real failure the coordinator's
+    bisection exists for — a config that segfaults or OOMs the interpreter,
+    where no amount of in-process error handling can help.
+    """
+    import os
+
+    if config.get("poison"):
+        os._exit(23)
+    return {"value": config["x"] * 2, "x": config["x"]}

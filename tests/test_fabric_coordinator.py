@@ -161,3 +161,116 @@ def test_experiments_cli_shard_concatenation(tmp_path) -> None:
         assert main(["E1", "--shard", f"{index}/3", "--jsonl", str(shard)]) == 0
         pieces.append(shard.read_bytes())
     assert b"".join(pieces) == serial.read_bytes()
+
+
+def test_stalled_worker_is_detected_and_the_run_converges(tiny_plan, tmp_path) -> None:
+    """A SIGSTOPped worker must never hang the run: the per-chunk progress
+    deadline detects the silence, kills the worker, requeues its chunk, and
+    the merged output still matches a clean run bit for bit."""
+    clean = Coordinator(tiny_plan, state_dir=tmp_path / "clean", workers=2).run()
+    stalled = Coordinator(
+        tiny_plan,
+        state_dir=tmp_path / "stall",
+        workers=2,
+        progress_timeout=1.0,
+        chaos_stall_worker_after=2,
+    ).run()
+    assert stalled.stats["stalled_workers"] >= 1
+    assert stalled.stats["worker_deaths"] >= 1
+    assert not stalled.partial
+    assert _merged_bytes(stalled) == _merged_bytes(clean)
+    assert stalled.experiment_digests() == clean.experiment_digests()
+
+
+def _poison_plan():
+    """4 sweep items; the config at index 1 os._exit()s the whole worker."""
+    return plan_sweep(
+        "tests.helpers.poison_run_one",
+        [{"x": index, "poison": index == 1} for index in range(4)],
+        name="poison",
+    )
+
+
+def test_poison_item_is_bisected_quarantined_and_reported(tmp_path) -> None:
+    """One config that hard-kills its worker must not sink the sweep: after
+    retries exhaust, the chunk is bisected until the poison item stands
+    alone, the item is quarantined, and partial.json names it exactly."""
+    state = tmp_path / "state"
+    coordinator = Coordinator(
+        _poison_plan(),
+        state_dir=state,
+        workers=1,
+        max_retries=0,
+        chunk_multiplier=1,
+    )
+    with pytest.raises(FabricError, match=r"quarantined after exhausting .*\[1\]"):
+        coordinator.run()
+
+    partial = json.loads((state / "partial.json").read_text())
+    assert partial["missing_indices"] == [1]
+    assert partial["plan_items"] == 4
+    record = partial["items"]["1"]
+    # the record tells the whole retry story: the original chunk attempt
+    # plus the solo attempt after bisection, each with its cause
+    assert record["attempts"] == len(record["history"]) >= 2
+    assert all("attempt" in line for line in record["history"])
+
+    # resuming with allow_partial completes every innocent neighbour and
+    # merges explicitly partial — the poison index is skipped, not silent
+    resumed = Coordinator(
+        None, state_dir=state, workers=1, max_retries=0, allow_partial=True
+    ).run()
+    assert resumed.partial
+    assert sorted(resumed.quarantined) == [1]
+    assert resumed.stats["quarantined"] == 1
+    rows = [json.loads(line) for line in _merged_bytes(resumed).decode().splitlines()]
+    assert [row["x"] for row in rows] == [0, 2, 3]
+    assert [row["value"] for row in rows] == [0, 4, 6]
+
+
+def test_bisection_rescues_innocent_chunk_mates(tmp_path) -> None:
+    """The bisection counter actually ticks, and every non-poison item's
+    result survives even though they shared the poison item's chunk."""
+    state = tmp_path / "state"
+    coordinator = Coordinator(
+        _poison_plan(),
+        state_dir=state,
+        workers=1,
+        max_retries=0,
+        chunk_multiplier=1,
+        allow_partial=True,
+    )
+    result = coordinator.run()
+    assert result.stats["bisected_chunks"] >= 1
+    assert result.stats["worker_deaths"] >= 2  # original chunk + solo retry
+    assert sorted(r.index for r in result.results) == [0, 2, 3]
+
+
+def test_resume_survives_torn_tail_and_interleaved_foreign_lines(tiny_plan, tmp_path) -> None:
+    """Journal damage in the middle of the file — not just appended at the
+    end: foreign lines interleaved *between* valid results plus a torn final
+    line.  The loader must keep every intact line, drop everything else, and
+    the resumed run must converge to the reference bytes."""
+    reference = Coordinator(tiny_plan, state_dir=tmp_path / "ref", workers=1).run()
+    state = tmp_path / "state"
+    with pytest.raises(SimulatedCrash):
+        Coordinator(tiny_plan, state_dir=state, workers=1, crash_after_chunks=2).run()
+
+    victim = max((state / "shards").glob("*.jsonl"), key=lambda p: p.stat().st_size)
+    lines = victim.read_text(encoding="utf-8").splitlines(keepends=True)
+    assert len(lines) >= 2, "need at least two journaled results to interleave"
+    doctored: list[str] = []
+    for line in lines[:-1]:
+        doctored.append(line)
+        doctored.append("this is not even JSON\n")
+        doctored.append('{"index": 0, "unrelated": true}\n')
+        doctored.append('{"index": 0, "key": "row-0000000000000000", "row": {}}\n')
+    doctored.append(lines[-1][: len(lines[-1]) // 2])  # torn mid-line, no newline
+    victim.write_text("".join(doctored), encoding="utf-8")
+
+    resumed = Coordinator(None, state_dir=state, workers=1).run()
+    assert len(resumed.results) == len(tiny_plan)
+    assert resumed.stats["from_journal"] >= len(lines) - 1  # intact lines kept
+    assert not resumed.partial
+    assert _merged_bytes(resumed) == _merged_bytes(reference)
+    assert resumed.experiment_digests() == reference.experiment_digests()

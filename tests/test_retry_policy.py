@@ -1,0 +1,213 @@
+"""The shared retry vocabulary: policies, histories, and their adopters.
+
+Covers :mod:`repro.retry` itself (validation, decorrelated-jitter schedules,
+deadlines, the sync driver) and the two tier-1-visible adopters: the cache's
+retried atomic writes and the worker pool's crash-history-carrying
+:class:`WorkerCrashError`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.retry import (
+    Attempt,
+    RetryExhaustedError,
+    RetryHistory,
+    RetryPolicy,
+    retry_call,
+)
+from repro.runtime.cache import RunCache
+
+
+# -- RetryPolicy: validation ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base": 0.0},
+        {"base": -1.0},
+        {"base": 1.0, "cap": 0.5},
+        {"max_attempts": 0},
+        {"deadline": 0.0},
+        {"deadline": -3.0},
+    ],
+)
+def test_policy_rejects_nonsense(kwargs) -> None:
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(**kwargs)
+
+
+# -- RetryPolicy: the schedule ---------------------------------------------
+
+
+def test_seeded_schedule_replays_bit_identically() -> None:
+    policy = RetryPolicy(base=0.05, cap=2.0, max_attempts=8)
+    first = list(policy.delays(random.Random(41)))
+    second = list(policy.delays(random.Random(41)))
+    assert first == second
+    assert list(policy.delays(random.Random(42))) != first
+
+
+def test_schedule_length_and_bounds() -> None:
+    """max_attempts tries ⇒ max_attempts − 1 sleeps, each in [base, cap]."""
+    policy = RetryPolicy(base=0.05, cap=0.4, max_attempts=30)
+    delays = list(policy.delays(random.Random(7)))
+    assert len(delays) == policy.max_attempts - 1
+    assert all(policy.base <= delay <= policy.cap for delay in delays)
+    # decorrelated jitter actually jitters: the schedule is not constant
+    assert len(set(delays)) > 1
+
+
+def test_single_attempt_policy_never_sleeps() -> None:
+    assert list(RetryPolicy(max_attempts=1).delays(random.Random(0))) == []
+
+
+def test_deadline_stops_the_schedule_early() -> None:
+    policy = RetryPolicy(base=0.05, cap=2.0, max_attempts=1_000, deadline=10.0)
+    now = [0.0]
+
+    def clock() -> float:
+        return now[0]
+
+    schedule = policy.delays(random.Random(3), clock=clock)
+    taken = [next(schedule)]  # inside the budget
+    now[0] = 10.0  # the deadline has passed
+    assert list(schedule) == []
+    assert taken  # but the pre-deadline draw happened
+
+
+def test_remaining_tracks_the_deadline() -> None:
+    policy = RetryPolicy(deadline=5.0)
+    assert policy.remaining(100.0, clock=lambda: 103.0) == pytest.approx(2.0)
+    assert RetryPolicy().remaining(0.0, clock=lambda: 1e9) == float("inf")
+
+
+# -- RetryHistory -----------------------------------------------------------
+
+
+def test_history_renders_the_one_line_story() -> None:
+    history = RetryHistory()
+    history.record(1, ConnectionRefusedError("refused"), backoff=0.08)
+    history.record(2, "gave up")
+    assert len(history) == 2
+    text = history.describe()
+    assert "attempt 1: ConnectionRefusedError: refused (backed off 0.080s)" in text
+    assert text.endswith("attempt 2: gave up")
+    assert RetryHistory().describe() == "no attempts recorded"
+    assert Attempt(number=3, cause="x").describe() == "attempt 3: x"
+
+
+# -- retry_call -------------------------------------------------------------
+
+
+def test_retry_call_succeeds_after_transient_failures() -> None:
+    calls = {"n": 0}
+    slept: list[float] = []
+
+    def flaky() -> str:
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("transient")
+        return "ok"
+
+    policy = RetryPolicy(base=0.01, cap=0.05, max_attempts=5)
+    result = retry_call(
+        flaky, policy=policy, rng=random.Random(1), sleep=slept.append
+    )
+    assert result == "ok"
+    assert calls["n"] == 3
+    assert len(slept) == 2  # one sleep per failed attempt
+    assert slept == list(policy.delays(random.Random(1)))[:2]
+
+
+def test_retry_call_exhaustion_embeds_the_history() -> None:
+    def doomed() -> None:
+        raise OSError("disk on fire")
+
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        retry_call(
+            doomed,
+            policy=RetryPolicy(base=0.01, cap=0.02, max_attempts=3),
+            sleep=lambda _: None,
+            describe="cache write entry.json",
+        )
+    error = excinfo.value
+    assert "cache write entry.json failed after 3 attempt(s)" in str(error)
+    assert str(error).count("disk on fire") == 3
+    assert len(error.history) == 3
+    assert error.history.attempts[-1].backoff is None  # no sleep after the last
+    assert isinstance(error.__cause__, OSError)
+
+
+def test_retry_call_propagates_non_retryable_immediately() -> None:
+    calls = {"n": 0}
+
+    def broken() -> None:
+        calls["n"] += 1
+        raise ValueError("a bug, not weather")
+
+    with pytest.raises(ValueError):
+        retry_call(broken, policy=RetryPolicy(max_attempts=5), sleep=lambda _: None)
+    assert calls["n"] == 1
+
+
+# -- adopter: RunCache.put retries transient OS errors ----------------------
+
+
+def test_cache_put_survives_a_transient_oserror(tmp_path, monkeypatch) -> None:
+    calls = {"n": 0}
+    real_replace = os.replace
+
+    def flaky_replace(src, dst):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise OSError("transient")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", flaky_replace)
+    cache = RunCache(tmp_path)
+    assert cache.put("k", {"v": 1}) is True
+    assert calls["n"] == 2
+    assert cache.get("k") == {"v": 1}
+
+
+def test_cache_put_gives_up_cleanly_when_retries_exhaust(tmp_path, monkeypatch) -> None:
+    def always_fails(src, dst):
+        raise OSError("read-only filesystem")
+
+    monkeypatch.setattr(os, "replace", always_fails)
+    cache = RunCache(tmp_path)
+    assert cache.put("k", {"v": 1}) is False  # best-effort contract: no raise
+    assert cache.get("k") is None
+    leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix == ".tmp"]
+    assert leftovers == []  # the temp file does not leak
+
+
+# -- adopter: WorkerCrashError carries its retry history --------------------
+
+
+def test_worker_crash_error_folds_history_into_the_message() -> None:
+    history = [
+        "attempt 1: pool died on one of 2 in-flight item(s) (e.g. e1[seed=0])",
+        "attempt 2: pool died on one of 1 in-flight item(s) (e.g. e1[seed=3])",
+    ]
+    error = WorkerCrashError(
+        "worker crashed", candidates=["e1[seed=3]"], history=history
+    )
+    text = str(error)
+    assert "[crash history: 2 attempt(s): " in text
+    assert "attempt 1: " in text and "attempt 2: " in text
+    assert error.candidates == ["e1[seed=3]"]
+    assert error.history == history
+
+
+def test_worker_crash_error_without_history_is_unchanged() -> None:
+    error = WorkerCrashError("worker crashed", candidates=["x"])
+    assert str(error) == "worker crashed"
+    assert error.history == []

@@ -79,3 +79,48 @@ def test_real_run_records_are_not_cached(tmp_path):
     # two real runs measure two different wall-clock samples — the engine
     # must not replay the first one from the cache
     assert first.metrics["hb_detection_time"] != second.metrics["hb_detection_time"]
+
+
+def test_stillborn_run_reaps_nodes_and_removes_temp_dir(tmp_path, monkeypatch):
+    """A run that dies before ready (here: an impossible ready_timeout) must
+    leave nothing behind: no node subprocess, no temporary log directory."""
+    import dataclasses
+    import tempfile
+
+    from repro.chaos.soak import _child_pids
+    from repro.transport.orchestrator import execute_real_spec
+
+    tmp_root = tmp_path / "tmp"
+    tmp_root.mkdir()
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_root))
+    spec = build_heartbeat_spec(nodes=3, backend="real")
+    spec = dataclasses.replace(spec, backend_params={"ready_timeout": 0.01})
+    before = _child_pids()
+    with pytest.raises(RuntimeError, match="ready_timeout"):
+        execute_real_spec(spec)
+    assert _child_pids() - before == set()  # every spawned node was reaped
+    assert list(tmp_root.iterdir()) == []  # the temp log dir did not leak
+
+
+def test_mid_run_interrupt_reaps_nodes_and_removes_temp_dir(tmp_path, monkeypatch):
+    """SIGINT lands as KeyboardInterrupt mid-run (after the fleet is up and
+    meshed); the finally path must still kill the nodes, close the logs, and
+    remove the temporary directory."""
+    import tempfile
+
+    import repro.transport.orchestrator as orchestrator
+    from repro.chaos.soak import _child_pids
+
+    def interrupted(plan):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(orchestrator, "_injection_timeline", interrupted)
+    tmp_root = tmp_path / "tmp"
+    tmp_root.mkdir()
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_root))
+    spec = build_heartbeat_spec(nodes=3, backend="real")
+    before = _child_pids()
+    with pytest.raises(KeyboardInterrupt):
+        orchestrator.execute_real_spec(spec)
+    assert _child_pids() - before == set()
+    assert list(tmp_root.iterdir()) == []
